@@ -1,0 +1,51 @@
+//! Ablation bench: 2-D folded torus vs 2-D mesh interconnect.
+//!
+//! Section 5.1 argues for a torus because it has no edges and spreads traffic
+//! evenly. This bench compares average distance, diameter, and link-load
+//! imbalance for a uniform shared-data traffic pattern on both topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnuca_noc::{Message, MessageKind, Network, Topology};
+use rnuca_types::addr::BlockAddr;
+use rnuca_types::config::SystemConfig;
+use rnuca_types::ids::TileId;
+
+fn uniform_traffic(net: &mut Network, messages: usize) {
+    let n = net.config().num_tiles();
+    for i in 0..messages {
+        let src = TileId::new(i % n);
+        let dst = TileId::new((i * 7 + 3) % n);
+        net.send(
+            Message::new(src, dst, MessageKind::DataResponse, BlockAddr::from_block_number(i as u64)),
+            64,
+        );
+    }
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let cfg = SystemConfig::server_16();
+    let mut group = c.benchmark_group("ablation_topology");
+    group.sample_size(20);
+    for topo in [Topology::FoldedTorus, Topology::Mesh] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{topo}")), &topo, |b, &topo| {
+            b.iter(|| {
+                let mut net = Network::new(topo, cfg.torus).with_traffic_recording();
+                uniform_traffic(&mut net, 4096);
+                net.stats().average_hops()
+            });
+        });
+        let mut net = Network::new(topo, cfg.torus).with_traffic_recording();
+        uniform_traffic(&mut net, 65_536);
+        println!(
+            "[ablation] {topo}: avg distance = {:.3}, diameter = {}, avg hops observed = {:.3}, link imbalance = {:.2}",
+            topo.average_distance(4, 4),
+            topo.diameter(4, 4),
+            net.stats().average_hops(),
+            net.stats().imbalance().unwrap_or(1.0),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 2/3 bench: trace generation plus L2 reference clustering analysis.
+//!
+//! Measures the cost of characterizing one workload's L2 reference stream
+//! (sharer bubbles, class breakdown, CDFs, reuse histograms) and reports the
+//! resulting class mix so the bench output doubles as a figure regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnuca_bench::characterize_workload;
+use rnuca_workloads::WorkloadSpec;
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_clustering");
+    group.sample_size(10);
+    for spec in [WorkloadSpec::oltp_db2(), WorkloadSpec::em3d(), WorkloadSpec::mix()] {
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.name), &spec, |b, spec| {
+            b.iter(|| characterize_workload(spec, 50_000, 1));
+        });
+        let ch = characterize_workload(&spec, 50_000, 1);
+        println!(
+            "[fig2/fig3] {}: instr {:.1}% private {:.1}% shared-RW {:.1}% shared-RO {:.1}%, mean instruction sharers {:.1}",
+            spec.name,
+            ch.breakdown.instructions * 100.0,
+            ch.breakdown.private_data * 100.0,
+            ch.breakdown.shared_read_write * 100.0,
+            ch.breakdown.shared_read_only * 100.0,
+            ch.sharers.mean_sharers(rnuca_types::AccessClass::Instruction),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

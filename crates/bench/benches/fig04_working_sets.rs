@@ -1,0 +1,40 @@
+//! Figure 4/5 bench: working-set CDFs and reuse histograms.
+//!
+//! Measures CDF construction over generated traces and prints the footprint
+//! needed to capture 90% of each class's references (the knee the paper's
+//! Figure 4 shows) plus the reuse fractions of Figure 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnuca_bench::characterize_workload;
+use rnuca_workloads::WorkloadSpec;
+
+fn bench_working_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_working_sets");
+    group.sample_size(10);
+    for spec in [WorkloadSpec::apache(), WorkloadSpec::dss_qry6()] {
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.name), &spec, |b, spec| {
+            b.iter(|| {
+                let ch = characterize_workload(spec, 40_000, 1);
+                ch.instr_cdf.kb_at_fraction(0.9)
+            });
+        });
+        let ch = characterize_workload(&spec, 40_000, 1);
+        println!(
+            "[fig4] {}: instr 90% @ {:.0} KB, private 90% @ {:.0} KB, shared 90% @ {:.0} KB",
+            spec.name,
+            ch.instr_cdf.kb_at_fraction(0.9),
+            ch.private_cdf.kb_at_fraction(0.9),
+            ch.shared_cdf.kb_at_fraction(0.9),
+        );
+        println!(
+            "[fig5] {}: instruction reuse {:.1}%, shared-data reuse {:.1}%",
+            spec.name,
+            ch.instr_reuse.reuse_fraction() * 100.0,
+            ch.shared_reuse.reuse_fraction() * 100.0,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_working_sets);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 7-10 bench: full design comparison (P/A/S/R) for representative workloads.
+//!
+//! Each iteration simulates one (workload, design) pair end to end with warmed
+//! caches; the printed summary reports the CPI breakdown normalised to the
+//! private design, i.e. one bar group of Figure 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnuca_sim::{DesignComparison, ExperimentConfig, LlcDesign};
+use rnuca_workloads::WorkloadSpec;
+
+fn bench_cpi(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("fig07_cpi_total");
+    group.sample_size(10);
+    for spec in [WorkloadSpec::oltp_db2(), WorkloadSpec::mix()] {
+        for design in LlcDesign::evaluation_set() {
+            let id = format!("{}/{}", spec.name, design.letter());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(&spec, design), |b, (spec, design)| {
+                b.iter(|| DesignComparison::run_single(spec, *design, &cfg));
+            });
+        }
+        let results = DesignComparison::run_workload(&spec, &cfg);
+        let base = results.private_baseline().total_cpi();
+        let row: Vec<String> = ["P", "A", "S", "R"]
+            .iter()
+            .filter_map(|l| results.by_letter(l))
+            .map(|r| format!("{}={:.3}", r.design.letter(), r.total_cpi() / base))
+            .collect();
+        println!("[fig7] {} CPI normalised to private: {}", spec.name, row.join(" "));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpi);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 11 bench: R-NUCA instruction-cluster size sweep (1, 2, 4, 8, 16).
+//!
+//! Prints, per cluster size, the total CPI normalised to size-1 clusters plus
+//! the instruction-L2 and off-chip components — the trade-off Figure 11 plots
+//! (small clusters thrash capacity, large clusters stretch access latency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnuca_sim::{DesignComparison, ExperimentConfig, LlcDesign};
+use rnuca_workloads::WorkloadSpec;
+
+fn bench_cluster_sweep(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let spec = WorkloadSpec::apache();
+    let mut group = c.benchmark_group("fig11_cluster_sweep");
+    group.sample_size(10);
+    let mut rows = Vec::new();
+    for size in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                DesignComparison::run_single(
+                    &spec,
+                    LlcDesign::RNuca { instr_cluster_size: size },
+                    &cfg,
+                )
+            });
+        });
+        let r = DesignComparison::run_single(&spec, LlcDesign::RNuca { instr_cluster_size: size }, &cfg);
+        rows.push((size, r.run));
+    }
+    group.finish();
+    let base = rows[0].1.total_cpi();
+    for (size, run) in rows {
+        println!(
+            "[fig11] Apache size-{size}: total/size-1 = {:.3}, instr L2 CPI = {:.3}, off-chip CPI = {:.3}",
+            run.total_cpi() / base,
+            run.cpi.l2_instructions,
+            run.cpi.breakdown.off_chip,
+        );
+    }
+}
+
+criterion_group!(benches, bench_cluster_sweep);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 12 bench: speedup of every design (including Ideal) over the private design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnuca_sim::{DesignComparison, ExperimentConfig};
+use rnuca_workloads::WorkloadSpec;
+
+fn bench_speedup(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("fig12_speedup");
+    group.sample_size(10);
+    for spec in [WorkloadSpec::oltp_oracle(), WorkloadSpec::apache()] {
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.name), &spec, |b, spec| {
+            b.iter(|| DesignComparison::run_workload(spec, &cfg));
+        });
+        let w = DesignComparison::run_workload(&spec, &cfg);
+        let speedups: Vec<String> = w
+            .speedups_over_private()
+            .iter()
+            .map(|(d, s)| format!("{}={:+.1}%", d.letter(), (s - 1.0) * 100.0))
+            .collect();
+        println!("[fig12] {} speedup over private: {}", spec.name, speedups.join(" "));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

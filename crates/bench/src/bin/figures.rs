@@ -1,0 +1,324 @@
+//! Regenerates every table and figure of the paper's evaluation as text tables.
+//!
+//! ```text
+//! cargo run --release -p rnuca-bench --bin figures -- all
+//! cargo run --release -p rnuca-bench --bin figures -- fig7 fig12
+//! cargo run --release -p rnuca-bench --bin figures -- --quick all
+//! ```
+//!
+//! Supported targets: `table1`, `fig2`..`fig12`, `accuracy`, `all`.
+//! `--quick` shrinks warm-up and measurement windows for a fast smoke run.
+
+use rnuca_bench::characterize_workload;
+use rnuca_os::rid_assignment;
+use rnuca_sim::report::{fmt3, fmt_pct};
+use rnuca_sim::{DesignComparison, ExperimentConfig, TextTable};
+use rnuca_types::access::AccessClass;
+use rnuca_types::config::SystemConfig;
+use rnuca_types::ids::TileId;
+use rnuca_workloads::WorkloadSpec;
+
+const CHARACTERIZATION_REFS: usize = 400_000;
+const CHARACTERIZATION_REFS_QUICK: usize = 60_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let targets = if targets.is_empty() { vec!["all".to_string()] } else { targets };
+
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
+    let char_refs = if quick { CHARACTERIZATION_REFS_QUICK } else { CHARACTERIZATION_REFS };
+
+    // The evaluation (Figures 7-12) shares one run of every workload x design.
+    let needs_eval = targets.iter().any(|t| {
+        t == "all" || matches!(t.as_str(), "fig7" | "fig8" | "fig9" | "fig10" | "fig12" | "accuracy")
+    });
+    let comparison = if needs_eval { Some(DesignComparison::run_evaluation(&cfg)) } else { None };
+
+    for target in &targets {
+        match target.as_str() {
+            "table1" => table1(),
+            "fig2" => fig2(char_refs),
+            "fig3" => fig3(char_refs),
+            "fig4" => fig4(char_refs),
+            "fig5" => fig5(char_refs),
+            "fig6" => fig6(),
+            "fig7" => fig7(comparison.as_ref().unwrap()),
+            "fig8" => fig8(comparison.as_ref().unwrap()),
+            "fig9" => fig9(comparison.as_ref().unwrap()),
+            "fig10" => fig10(comparison.as_ref().unwrap()),
+            "fig11" => fig11(&cfg),
+            "fig12" => fig12(comparison.as_ref().unwrap()),
+            "accuracy" => accuracy(comparison.as_ref().unwrap()),
+            "all" => {
+                table1();
+                fig2(char_refs);
+                fig3(char_refs);
+                fig4(char_refs);
+                fig5(char_refs);
+                fig6();
+                let c = comparison.as_ref().unwrap();
+                accuracy(c);
+                fig7(c);
+                fig8(c);
+                fig9(c);
+                fig10(c);
+                fig11(&cfg);
+                fig12(c);
+            }
+            other => eprintln!("unknown target: {other}"),
+        }
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+fn table1() {
+    heading("Table 1: system parameters");
+    for (label, cfg) in [("16-core (server/scientific)", SystemConfig::server_16()), ("8-core (multi-programmed)", SystemConfig::desktop_8())] {
+        println!(
+            "{label}: {} cores, {} KB L2/slice {}-way {}-cycle hit, {}x{} folded torus, {}-cycle DRAM, {} memory controllers",
+            cfg.num_cores,
+            cfg.l2_slice.geometry.capacity_bytes / 1024,
+            cfg.l2_slice.geometry.ways,
+            cfg.l2_slice.hit_latency.value(),
+            cfg.torus.width,
+            cfg.torus.height,
+            cfg.memory.access_latency.value(),
+            cfg.num_mem_controllers(),
+        );
+    }
+}
+
+fn fig2(refs: usize) {
+    heading("Figure 2: L2 reference clustering (sharers vs read-write blocks)");
+    let mut table = TextTable::new(vec!["workload", "class", "sharers", "%accesses", "%RW blocks"]);
+    for spec in WorkloadSpec::evaluation_suite() {
+        let c = characterize_workload(&spec, refs, 1);
+        for b in &c.sharers.bubbles {
+            if b.access_fraction < 0.005 {
+                continue;
+            }
+            table.add_row(vec![
+                spec.name.clone(),
+                b.class.label().to_string(),
+                b.sharers.to_string(),
+                fmt_pct(b.access_fraction),
+                fmt_pct(b.read_write_fraction),
+            ]);
+        }
+    }
+    println!("{table}");
+}
+
+fn fig3(refs: usize) {
+    heading("Figure 3: L2 reference breakdown by access class");
+    println!("{}", rnuca_bench::figure3_table(refs, 1));
+}
+
+fn fig4(refs: usize) {
+    heading("Figure 4: working-set CDFs (footprint KB capturing 50% / 90% of each class's references)");
+    let mut table = TextTable::new(vec![
+        "workload",
+        "instr KB@50%",
+        "instr KB@90%",
+        "private KB@50%",
+        "private KB@90%",
+        "shared KB@50%",
+        "shared KB@90%",
+    ]);
+    for spec in WorkloadSpec::evaluation_suite() {
+        let c = characterize_workload(&spec, refs, 1);
+        table.add_row(vec![
+            spec.name.clone(),
+            fmt3(c.instr_cdf.kb_at_fraction(0.5)),
+            fmt3(c.instr_cdf.kb_at_fraction(0.9)),
+            fmt3(c.private_cdf.kb_at_fraction(0.5)),
+            fmt3(c.private_cdf.kb_at_fraction(0.9)),
+            fmt3(c.shared_cdf.kb_at_fraction(0.5)),
+            fmt3(c.shared_cdf.kb_at_fraction(0.9)),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn fig5(refs: usize) {
+    heading("Figure 5: instruction and shared-data reuse by the same core");
+    let mut table = TextTable::new(vec![
+        "workload", "class", "1st", "2nd", "3rd-4th", "5th-8th", "9+",
+    ]);
+    for spec in WorkloadSpec::evaluation_suite() {
+        let c = characterize_workload(&spec, refs, 1);
+        for (label, hist) in [("Instr", c.instr_reuse), ("Shared", c.shared_reuse)] {
+            let f = hist.fractions();
+            table.add_row(vec![
+                spec.name.clone(),
+                label.to_string(),
+                fmt_pct(f[0]),
+                fmt_pct(f[1]),
+                fmt_pct(f[2]),
+                fmt_pct(f[3]),
+                fmt_pct(f[4]),
+            ]);
+        }
+    }
+    println!("{table}");
+}
+
+fn fig6() {
+    heading("Figure 6: rotational-ID assignment and size-4 cluster example (4x4 torus)");
+    let rids = rid_assignment(4, 4, 4, 0);
+    for y in 0..4 {
+        let row: Vec<String> = (0..4).map(|x| format!("{:02b}", rids[y * 4 + x].value())).collect();
+        println!("  {}", row.join(" "));
+    }
+    let engine = rnuca::PlacementEngine::new(rnuca::PlacementConfig::from_system(
+        &SystemConfig::server_16(),
+    ));
+    let cluster = engine.instruction_cluster(rnuca_types::ids::CoreId::new(5));
+    let members: Vec<String> = cluster.members().iter().map(TileId::to_string).collect();
+    println!("  size-4 fixed-center cluster of tile T5: {{{}}}", members.join(", "));
+}
+
+fn accuracy(c: &DesignComparison) {
+    heading("Section 5.2: page-classification accuracy under R-NUCA");
+    let mut table = TextTable::new(vec!["workload", "misclassified accesses", "re-classifications"]);
+    for w in &c.workloads {
+        if let Some(r) = w.by_letter("R") {
+            table.add_row(vec![
+                w.workload.clone(),
+                fmt_pct(r.run.misclassification_rate),
+                r.run.reclassifications.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+}
+
+fn fig7(c: &DesignComparison) {
+    heading("Figure 7: total CPI breakdown, normalised to the private design");
+    let mut table = TextTable::new(vec![
+        "workload", "design", "busy", "L1-to-L1", "L2", "off-chip", "other", "re-class", "total",
+    ]);
+    for w in &c.workloads {
+        let base = w.private_baseline().total_cpi();
+        for letter in ["P", "A", "S", "R"] {
+            if let Some(r) = w.by_letter(letter) {
+                let b = r.run.cpi.breakdown.scaled(base);
+                table.add_row(vec![
+                    w.workload.clone(),
+                    letter.to_string(),
+                    fmt3(b.busy),
+                    fmt3(b.l1_to_l1),
+                    fmt3(b.l2),
+                    fmt3(b.off_chip),
+                    fmt3(b.other),
+                    fmt3(b.reclassification),
+                    fmt3(r.total_cpi() / base),
+                ]);
+            }
+        }
+    }
+    println!("{table}");
+}
+
+fn fig8(c: &DesignComparison) {
+    heading("Figure 8: CPI of L1-to-L1 and shared-data L2 loads, normalised to the private design's total CPI");
+    let mut table =
+        TextTable::new(vec!["workload", "design", "L1-to-L1", "L2 shared coherence", "L2 shared load"]);
+    for w in &c.workloads {
+        let base = w.private_baseline().total_cpi();
+        for letter in ["P", "A", "S", "R"] {
+            if let Some(r) = w.by_letter(letter) {
+                table.add_row(vec![
+                    w.workload.clone(),
+                    letter.to_string(),
+                    fmt3(r.run.cpi.breakdown.l1_to_l1 / base),
+                    fmt3(r.run.cpi.l2_shared_coherence / base),
+                    fmt3(r.run.cpi.l2_shared_load / base),
+                ]);
+            }
+        }
+    }
+    println!("{table}");
+}
+
+fn fig9(c: &DesignComparison) {
+    heading("Figure 9: CPI of L2 accesses to private data, normalised to the private design's total CPI");
+    per_class_l2_table(c, AccessClass::PrivateData);
+}
+
+fn fig10(c: &DesignComparison) {
+    heading("Figure 10: CPI of L2 instruction accesses, normalised to the private design's total CPI");
+    per_class_l2_table(c, AccessClass::Instruction);
+}
+
+fn per_class_l2_table(c: &DesignComparison, class: AccessClass) {
+    let mut table = TextTable::new(vec!["workload", "P", "A", "S", "R"]);
+    for w in &c.workloads {
+        let base = w.private_baseline().total_cpi();
+        let mut row = vec![w.workload.clone()];
+        for letter in ["P", "A", "S", "R"] {
+            let v = w
+                .by_letter(letter)
+                .map(|r| match class {
+                    AccessClass::PrivateData => r.run.cpi.l2_private_data,
+                    AccessClass::Instruction => r.run.cpi.l2_instructions,
+                    AccessClass::SharedData => r.run.cpi.l2_shared_load + r.run.cpi.l2_shared_coherence,
+                })
+                .unwrap_or(f64::NAN);
+            row.push(fmt3(v / base));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+}
+
+fn fig11(cfg: &ExperimentConfig) {
+    heading("Figure 11: CPI vs R-NUCA instruction-cluster size, normalised to size-1 clusters");
+    let sweep = DesignComparison::run_cluster_sweep(cfg, &[1, 2, 4, 8, 16]);
+    let mut table = TextTable::new(vec![
+        "workload", "size", "total/size-1", "L2 instr CPI", "off-chip CPI",
+    ]);
+    for (name, rows) in &sweep {
+        let base = rows.first().map(|(_, r)| r.total_cpi()).unwrap_or(1.0);
+        for (size, run) in rows {
+            table.add_row(vec![
+                name.clone(),
+                size.to_string(),
+                fmt3(run.total_cpi() / base),
+                fmt3(run.cpi.l2_instructions),
+                fmt3(run.cpi.breakdown.off_chip),
+            ]);
+        }
+    }
+    println!("{table}");
+}
+
+fn fig12(c: &DesignComparison) {
+    heading("Figure 12: speedup over the private design");
+    let mut table = TextTable::new(vec!["workload", "bucket", "P", "A", "S", "R", "I"]);
+    for w in &c.workloads {
+        let mut row = vec![
+            w.workload.clone(),
+            if w.private_averse { "private-averse".into() } else { "shared-averse".into() },
+        ];
+        let baseline = w.private_baseline();
+        for letter in ["P", "A", "S", "R", "I"] {
+            let s = w.by_letter(letter).map(|r| r.speedup_over(baseline)).unwrap_or(f64::NAN);
+            row.push(format!("{:+.1}%", (s - 1.0) * 100.0));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+    println!(
+        "Average speedup of R-NUCA: {:+.1}% over private, {:+.1}% over shared, {:.1}% below ideal",
+        (c.mean_speedup("R", "P") - 1.0) * 100.0,
+        (c.mean_speedup("R", "S") - 1.0) * 100.0,
+        (1.0 - 1.0 / c.mean_speedup("I", "R")) * 100.0,
+    );
+}

@@ -1,0 +1,350 @@
+//! Set-associative cache array with true-LRU replacement.
+
+use crate::stats::CacheStats;
+use rnuca_types::addr::BlockAddr;
+use rnuca_types::config::CacheGeometry;
+
+/// A block evicted from a [`CacheArray`] to make room for a fill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction<T> {
+    /// Address of the evicted block.
+    pub block: BlockAddr,
+    /// Metadata stored with the evicted block (e.g. coherence state, dirty bit).
+    pub meta: T,
+}
+
+#[derive(Debug, Clone)]
+struct Way<T> {
+    block: BlockAddr,
+    meta: T,
+    /// Monotonic counter value of the last touch; larger = more recent.
+    last_use: u64,
+}
+
+/// A set-associative cache array with true-LRU replacement.
+///
+/// The array indexes blocks by [`BlockAddr`] using the low bits of the block
+/// number as the set index, exactly as a physical cache indexed above the
+/// block offset would. Per-block metadata of type `T` travels with each entry
+/// (coherence state, dirty bit, owning cluster, ...).
+///
+/// All operations are O(associativity). The array never allocates after
+/// construction beyond the per-set way vectors.
+#[derive(Debug, Clone)]
+pub struct CacheArray<T> {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Way<T>>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl<T> CacheArray<T> {
+    /// Creates an empty array with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let num_sets = geometry.num_sets();
+        let mut sets = Vec::with_capacity(num_sets);
+        for _ in 0..num_sets {
+            sets.push(Vec::with_capacity(geometry.ways));
+        }
+        CacheArray { geometry, sets, clock: 0, stats: CacheStats::default() }
+    }
+
+    /// The geometry this array was built with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Accumulated hit/miss/eviction statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of blocks currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        block.set_index(self.geometry.num_sets())
+    }
+
+    /// Looks up a block, updating LRU state and hit/miss counters.
+    ///
+    /// Returns a reference to the stored metadata on a hit.
+    pub fn probe(&mut self, block: BlockAddr) -> Option<&T> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(block);
+        let found = self.sets[set].iter_mut().find(|w| w.block == block);
+        match found {
+            Some(way) => {
+                way.last_use = clock;
+                self.stats.hits += 1;
+                Some(&way.meta)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a block, updating LRU state and hit/miss counters, returning
+    /// mutable access to the stored metadata on a hit.
+    pub fn probe_mut(&mut self, block: BlockAddr) -> Option<&mut T> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(block);
+        let found = self.sets[set].iter_mut().find(|w| w.block == block);
+        match found {
+            Some(way) => {
+                way.last_use = clock;
+                self.stats.hits += 1;
+                Some(&mut way.meta)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks residency without perturbing LRU state or statistics.
+    pub fn peek(&self, block: BlockAddr) -> Option<&T> {
+        let set = self.set_index(block);
+        self.sets[set].iter().find(|w| w.block == block).map(|w| &w.meta)
+    }
+
+    /// Returns `true` if the block is resident (no LRU/statistics side effects).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.peek(block).is_some()
+    }
+
+    /// Inserts (fills) a block with the given metadata.
+    ///
+    /// If the block is already resident its metadata is replaced and its LRU
+    /// position refreshed. If the set is full, the least-recently-used way is
+    /// evicted and returned.
+    pub fn insert(&mut self, block: BlockAddr, meta: T) -> Option<Eviction<T>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.geometry.ways;
+        let set = self.set_index(block);
+        let entries = &mut self.sets[set];
+
+        if let Some(way) = entries.iter_mut().find(|w| w.block == block) {
+            way.meta = meta;
+            way.last_use = clock;
+            return None;
+        }
+
+        self.stats.fills += 1;
+        let evicted = if entries.len() >= ways {
+            let victim_idx = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_use)
+                .map(|(i, _)| i)
+                .expect("full set has at least one way");
+            let victim = entries.swap_remove(victim_idx);
+            self.stats.evictions += 1;
+            Some(Eviction { block: victim.block, meta: victim.meta })
+        } else {
+            None
+        };
+
+        entries.push(Way { block, meta, last_use: clock });
+        evicted
+    }
+
+    /// Removes a block from the array, returning its metadata if it was resident.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<T> {
+        let set = self.set_index(block);
+        let entries = &mut self.sets[set];
+        let idx = entries.iter().position(|w| w.block == block)?;
+        self.stats.invalidations += 1;
+        Some(entries.swap_remove(idx).meta)
+    }
+
+    /// Removes every resident block for which the predicate returns `true`,
+    /// returning the removed blocks. Used for page shoot-downs during R-NUCA
+    /// re-classification.
+    pub fn invalidate_matching<F>(&mut self, mut pred: F) -> Vec<Eviction<T>>
+    where
+        F: FnMut(BlockAddr, &T) -> bool,
+    {
+        let mut removed = Vec::new();
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if pred(set[i].block, &set[i].meta) {
+                    let way = set.swap_remove(i);
+                    self.stats.invalidations += 1;
+                    removed.push(Eviction { block: way.block, meta: way.meta });
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Iterates over all resident blocks and their metadata (set order, then way order).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &T)> {
+        self.sets.iter().flat_map(|set| set.iter().map(|w| (w.block, &w.meta)))
+    }
+
+    /// Removes every block from the array.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnuca_types::config::CacheGeometry;
+
+    fn tiny() -> CacheGeometry {
+        // 4 sets x 2 ways x 64B blocks = 512B.
+        CacheGeometry::new(512, 2, 64).unwrap()
+    }
+
+    fn b(n: u64) -> BlockAddr {
+        BlockAddr::from_block_number(n)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c: CacheArray<u32> = CacheArray::new(tiny());
+        assert!(c.probe(b(1)).is_none());
+        c.insert(b(1), 7);
+        assert_eq!(c.probe(b(1)), Some(&7));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        let mut c: CacheArray<&str> = CacheArray::new(tiny());
+        // Blocks 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(b(0), "a");
+        c.insert(b(4), "b");
+        // Touch block 0 so block 4 becomes LRU.
+        assert!(c.probe(b(0)).is_some());
+        let ev = c.insert(b(8), "c").expect("set is full, must evict");
+        assert_eq!(ev.block, b(4));
+        assert_eq!(ev.meta, "b");
+        assert!(c.contains(b(0)));
+        assert!(c.contains(b(8)));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn insert_existing_block_updates_metadata_without_eviction() {
+        let mut c: CacheArray<u32> = CacheArray::new(tiny());
+        c.insert(b(3), 1);
+        assert!(c.insert(b(3), 2).is_none());
+        assert_eq!(c.peek(b(3)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru_or_stats() {
+        let mut c: CacheArray<u32> = CacheArray::new(tiny());
+        c.insert(b(0), 0);
+        c.insert(b(4), 4);
+        // Peek block 0 (older); it must NOT be promoted.
+        assert_eq!(c.peek(b(0)), Some(&0));
+        let hits_before = c.stats().hits;
+        let ev = c.insert(b(8), 8).unwrap();
+        assert_eq!(ev.block, b(0), "peek must not refresh LRU");
+        assert_eq!(c.stats().hits, hits_before);
+    }
+
+    #[test]
+    fn probe_mut_allows_in_place_update() {
+        let mut c: CacheArray<u32> = CacheArray::new(tiny());
+        c.insert(b(2), 10);
+        if let Some(m) = c.probe_mut(b(2)) {
+            *m += 5;
+        }
+        assert_eq!(c.peek(b(2)), Some(&15));
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c: CacheArray<u32> = CacheArray::new(tiny());
+        c.insert(b(5), 50);
+        assert_eq!(c.invalidate(b(5)), Some(50));
+        assert_eq!(c.invalidate(b(5)), None);
+        assert!(!c.contains(b(5)));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_matching_removes_page_blocks() {
+        let mut c: CacheArray<u64> = CacheArray::new(tiny());
+        for n in 0..8 {
+            c.insert(b(n), n);
+        }
+        // Remove all even block numbers (e.g. "blocks of a page being reclassified").
+        let removed = c.invalidate_matching(|blk, _| blk.block_number() % 2 == 0);
+        assert_eq!(removed.len(), 4);
+        assert!(c.iter().all(|(blk, _)| blk.block_number() % 2 == 1));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c: CacheArray<()> = CacheArray::new(tiny());
+        // Blocks 0..4 map to distinct sets; filling them evicts nothing.
+        for n in 0..4 {
+            assert!(c.insert(b(n), ()).is_none());
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn capacity_is_bounded_by_geometry() {
+        let geom = tiny();
+        let mut c: CacheArray<()> = CacheArray::new(geom);
+        for n in 0..1000 {
+            c.insert(b(n), ());
+        }
+        assert!(c.len() <= geom.num_blocks());
+        assert_eq!(c.len(), geom.num_blocks());
+    }
+
+    #[test]
+    fn clear_and_is_empty() {
+        let mut c: CacheArray<()> = CacheArray::new(tiny());
+        assert!(c.is_empty());
+        c.insert(b(1), ());
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c: CacheArray<()> = CacheArray::new(tiny());
+        c.insert(b(1), ());
+        c.probe(b(1));
+        c.reset_stats();
+        assert_eq!(c.stats().hits, 0);
+        assert!(c.contains(b(1)));
+    }
+}

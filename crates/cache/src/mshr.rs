@@ -1,0 +1,158 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! Table 1 provisions 32 MSHRs per cache. The trace-driven simulator is not
+//! cycle-by-cycle, so MSHRs are modelled as a bounded set of outstanding miss
+//! addresses: a secondary miss to an address already outstanding merges with
+//! the existing entry, and when all registers are busy the model charges a
+//! structural-hazard penalty.
+
+use rnuca_types::addr::BlockAddr;
+use std::collections::HashMap;
+
+/// Outcome of trying to allocate an MSHR for a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAllocation {
+    /// A new register was allocated (primary miss).
+    Allocated,
+    /// The address already had an outstanding miss; the request merged with it.
+    Merged,
+    /// All registers are busy; the request must stall.
+    Full,
+}
+
+/// A bounded file of miss-status holding registers.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    outstanding: HashMap<BlockAddr, u32>,
+    merges: u64,
+    stalls: u64,
+    allocations: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one register");
+        MshrFile {
+            capacity,
+            outstanding: HashMap::new(),
+            merges: 0,
+            stalls: 0,
+            allocations: 0,
+        }
+    }
+
+    /// Number of registers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of registers currently in use.
+    pub fn in_use(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Returns `true` if every register is busy.
+    pub fn is_full(&self) -> bool {
+        self.outstanding.len() >= self.capacity
+    }
+
+    /// Attempts to allocate (or merge into) a register for a miss to `block`.
+    pub fn allocate(&mut self, block: BlockAddr) -> MshrAllocation {
+        if let Some(waiters) = self.outstanding.get_mut(&block) {
+            *waiters += 1;
+            self.merges += 1;
+            return MshrAllocation::Merged;
+        }
+        if self.is_full() {
+            self.stalls += 1;
+            return MshrAllocation::Full;
+        }
+        self.outstanding.insert(block, 1);
+        self.allocations += 1;
+        MshrAllocation::Allocated
+    }
+
+    /// Releases the register for `block` when its fill completes.
+    ///
+    /// Returns the number of requests that were waiting on it, or `None` if
+    /// the block had no outstanding miss.
+    pub fn release(&mut self, block: BlockAddr) -> Option<u32> {
+        self.outstanding.remove(&block)
+    }
+
+    /// Returns `true` if `block` currently has an outstanding miss.
+    pub fn is_outstanding(&self, block: BlockAddr) -> bool {
+        self.outstanding.contains_key(&block)
+    }
+
+    /// Total primary-miss allocations.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total secondary misses merged into an existing register.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Total requests that found the file full.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: u64) -> BlockAddr {
+        BlockAddr::from_block_number(n)
+    }
+
+    #[test]
+    fn allocate_merge_release_cycle() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(b(1)), MshrAllocation::Allocated);
+        assert_eq!(m.allocate(b(1)), MshrAllocation::Merged);
+        assert!(m.is_outstanding(b(1)));
+        assert_eq!(m.release(b(1)), Some(2));
+        assert!(!m.is_outstanding(b(1)));
+        assert_eq!(m.release(b(1)), None);
+    }
+
+    #[test]
+    fn full_file_stalls() {
+        let mut m = MshrFile::new(2);
+        m.allocate(b(1));
+        m.allocate(b(2));
+        assert!(m.is_full());
+        assert_eq!(m.allocate(b(3)), MshrAllocation::Full);
+        assert_eq!(m.stalls(), 1);
+        // Merging into an existing entry still works when full.
+        assert_eq!(m.allocate(b(2)), MshrAllocation::Merged);
+    }
+
+    #[test]
+    fn counters() {
+        let mut m = MshrFile::new(4);
+        m.allocate(b(1));
+        m.allocate(b(2));
+        m.allocate(b(1));
+        assert_eq!(m.allocations(), 2);
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.in_use(), 2);
+        assert_eq!(m.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Small fully-associative victim cache.
+//!
+//! Table 1 attaches a 16-entry victim cache to each L1 and L2 array. Evicted
+//! blocks are parked here; a subsequent miss that hits in the victim cache is
+//! serviced at array latency and the block is re-promoted.
+
+use crate::stats::CacheStats;
+use rnuca_types::addr::BlockAddr;
+use std::collections::VecDeque;
+
+/// A fully-associative FIFO victim buffer holding recently evicted blocks.
+#[derive(Debug, Clone)]
+pub struct VictimCache<T> {
+    capacity: usize,
+    entries: VecDeque<(BlockAddr, T)>,
+    stats: CacheStats,
+}
+
+impl<T> VictimCache<T> {
+    /// Creates a victim cache with room for `capacity` blocks.
+    ///
+    /// A zero capacity is allowed and produces a victim cache that never holds
+    /// anything (useful to disable the structure in ablations).
+    pub fn new(capacity: usize) -> Self {
+        VictimCache { capacity, entries: VecDeque::new(), stats: CacheStats::default() }
+    }
+
+    /// Maximum number of blocks held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of blocks currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no victims are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulated statistics (hits = successful recalls, misses = failed probes).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Inserts an evicted block. If the buffer is full the oldest victim is
+    /// dropped and returned.
+    pub fn insert(&mut self, block: BlockAddr, meta: T) -> Option<(BlockAddr, T)> {
+        if self.capacity == 0 {
+            return Some((block, meta));
+        }
+        self.stats.fills += 1;
+        let dropped = if self.entries.len() >= self.capacity {
+            self.stats.evictions += 1;
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries.push_back((block, meta));
+        dropped
+    }
+
+    /// Attempts to recall a block, removing it from the buffer on success.
+    pub fn recall(&mut self, block: BlockAddr) -> Option<T> {
+        match self.entries.iter().position(|(b, _)| *b == block) {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.entries.remove(idx).map(|(_, meta)| meta)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns `true` if the block is currently parked here (no statistics side effects).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.entries.iter().any(|(b, _)| *b == block)
+    }
+
+    /// Removes a block without counting it as a recall (e.g. on invalidation).
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<T> {
+        let idx = self.entries.iter().position(|(b, _)| *b == block)?;
+        self.stats.invalidations += 1;
+        self.entries.remove(idx).map(|(_, meta)| meta)
+    }
+
+    /// Removes all victims.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: u64) -> BlockAddr {
+        BlockAddr::from_block_number(n)
+    }
+
+    #[test]
+    fn recall_hit_and_miss() {
+        let mut v: VictimCache<u32> = VictimCache::new(2);
+        v.insert(b(1), 11);
+        assert!(v.contains(b(1)));
+        assert_eq!(v.recall(b(1)), Some(11));
+        assert!(!v.contains(b(1)));
+        assert_eq!(v.recall(b(1)), None);
+        assert_eq!(v.stats().hits, 1);
+        assert_eq!(v.stats().misses, 1);
+    }
+
+    #[test]
+    fn fifo_overflow_drops_oldest() {
+        let mut v: VictimCache<&str> = VictimCache::new(2);
+        assert!(v.insert(b(1), "a").is_none());
+        assert!(v.insert(b(2), "b").is_none());
+        let dropped = v.insert(b(3), "c").expect("capacity exceeded");
+        assert_eq!(dropped, (b(1), "a"));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut v: VictimCache<()> = VictimCache::new(0);
+        assert_eq!(v.insert(b(1), ()), Some((b(1), ())));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn invalidate_does_not_count_as_hit() {
+        let mut v: VictimCache<u32> = VictimCache::new(4);
+        v.insert(b(5), 1);
+        assert_eq!(v.invalidate(b(5)), Some(1));
+        assert_eq!(v.stats().hits, 0);
+        assert_eq!(v.stats().invalidations, 1);
+        assert_eq!(v.invalidate(b(5)), None);
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut v: VictimCache<()> = VictimCache::new(4);
+        v.insert(b(1), ());
+        v.insert(b(2), ());
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), 4);
+    }
+}

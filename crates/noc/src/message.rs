@@ -1,0 +1,119 @@
+//! Network message vocabulary: request/response kinds and payload sizes.
+//!
+//! The timing model charges a serialization latency for data-carrying
+//! messages: a 64-byte cache block crossing 32-byte links takes two extra
+//! flit cycles beyond the head flit.
+
+use rnuca_types::addr::BlockAddr;
+use rnuca_types::ids::TileId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a network message exchanged between tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// A read/fetch request for a block (control-sized).
+    ReadRequest,
+    /// A write/upgrade request for a block (control-sized).
+    WriteRequest,
+    /// A data response carrying a full cache block.
+    DataResponse,
+    /// A coherence invalidation (control-sized).
+    Invalidate,
+    /// An acknowledgement (control-sized).
+    Ack,
+    /// A request forwarded by a directory to a remote owner (control-sized).
+    Forward,
+    /// A writeback carrying a full cache block to its home slice or memory.
+    Writeback,
+}
+
+impl MessageKind {
+    /// Payload size in bytes: data-carrying messages carry a 64-byte block plus
+    /// an 8-byte header; control messages are 8 bytes.
+    pub fn payload_bytes(self, block_bytes: usize) -> usize {
+        match self {
+            MessageKind::DataResponse | MessageKind::Writeback => block_bytes + 8,
+            _ => 8,
+        }
+    }
+
+    /// Returns `true` if the message carries a full data block.
+    pub fn carries_data(self) -> bool {
+        matches!(self, MessageKind::DataResponse | MessageKind::Writeback)
+    }
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageKind::ReadRequest => "read-req",
+            MessageKind::WriteRequest => "write-req",
+            MessageKind::DataResponse => "data-resp",
+            MessageKind::Invalidate => "inval",
+            MessageKind::Ack => "ack",
+            MessageKind::Forward => "forward",
+            MessageKind::Writeback => "writeback",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single message travelling between two tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Originating tile.
+    pub src: TileId,
+    /// Destination tile.
+    pub dst: TileId,
+    /// Message kind.
+    pub kind: MessageKind,
+    /// The block this message concerns.
+    pub block: BlockAddr,
+}
+
+impl Message {
+    /// Convenience constructor.
+    pub fn new(src: TileId, dst: TileId, kind: MessageKind, block: BlockAddr) -> Self {
+        Message { src, dst, kind, block }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} {} {}", self.src, self.dst, self.kind, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(MessageKind::ReadRequest.payload_bytes(64), 8);
+        assert_eq!(MessageKind::DataResponse.payload_bytes(64), 72);
+        assert_eq!(MessageKind::Writeback.payload_bytes(64), 72);
+        assert_eq!(MessageKind::Invalidate.payload_bytes(64), 8);
+    }
+
+    #[test]
+    fn carries_data_flag() {
+        assert!(MessageKind::DataResponse.carries_data());
+        assert!(MessageKind::Writeback.carries_data());
+        assert!(!MessageKind::Ack.carries_data());
+        assert!(!MessageKind::Forward.carries_data());
+    }
+
+    #[test]
+    fn message_display() {
+        let m = Message::new(
+            TileId::new(1),
+            TileId::new(2),
+            MessageKind::ReadRequest,
+            BlockAddr::from_block_number(0x10),
+        );
+        assert!(m.to_string().contains("T1 -> T2"));
+        assert!(m.to_string().contains("read-req"));
+    }
+}

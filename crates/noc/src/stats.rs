@@ -1,0 +1,168 @@
+//! Per-link traffic accounting.
+//!
+//! The paper argues for a torus because a mesh concentrates traffic in its
+//! centre. [`TrafficStats`] records how many flits cross each directed link so
+//! the topology ablation can measure exactly that: maximum link load, total
+//! flits, and the load imbalance ratio.
+
+use rnuca_types::ids::TileId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Directed link between two adjacent tiles.
+pub type Link = (TileId, TileId);
+
+/// Accumulated traffic counters for a network.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficStats {
+    flits_per_link: HashMap<Link, u64>,
+    total_messages: u64,
+    total_flits: u64,
+    total_hops: u64,
+}
+
+impl TrafficStats {
+    /// Creates an empty set of counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message that followed `route` (a sequence of tiles) and
+    /// occupied `flits` flits on each link it crossed.
+    pub fn record_route(&mut self, route: &[TileId], flits: u64) {
+        self.total_messages += 1;
+        for pair in route.windows(2) {
+            *self.flits_per_link.entry((pair[0], pair[1])).or_insert(0) += flits;
+            self.total_flits += flits;
+            self.total_hops += 1;
+        }
+    }
+
+    /// Total messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Total flit-hops recorded (flits summed over every link crossing).
+    pub fn flit_hops(&self) -> u64 {
+        self.total_flits
+    }
+
+    /// Total hops recorded across all messages.
+    pub fn hops(&self) -> u64 {
+        self.total_hops
+    }
+
+    /// Average hops per message (zero if no messages were recorded).
+    pub fn average_hops(&self) -> f64 {
+        if self.total_messages == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.total_messages as f64
+        }
+    }
+
+    /// The most heavily loaded directed link and its flit count, if any traffic was recorded.
+    pub fn hottest_link(&self) -> Option<(Link, u64)> {
+        self.flits_per_link
+            .iter()
+            .max_by_key(|(link, &flits)| (flits, link.0.index(), link.1.index()))
+            .map(|(&link, &flits)| (link, flits))
+    }
+
+    /// Ratio of the hottest link's load to the mean link load (1.0 = perfectly balanced).
+    ///
+    /// Returns `None` when no traffic has been recorded.
+    pub fn imbalance(&self) -> Option<f64> {
+        if self.flits_per_link.is_empty() {
+            return None;
+        }
+        let max = self.flits_per_link.values().copied().max().unwrap_or(0) as f64;
+        let mean =
+            self.flits_per_link.values().copied().sum::<u64>() as f64 / self.flits_per_link.len() as f64;
+        if mean == 0.0 {
+            None
+        } else {
+            Some(max / mean)
+        }
+    }
+
+    /// Number of distinct directed links that carried any traffic.
+    pub fn active_links(&self) -> usize {
+        self.flits_per_link.len()
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (&link, &flits) in &other.flits_per_link {
+            *self.flits_per_link.entry(link).or_insert(0) += flits;
+        }
+        self.total_messages += other.total_messages;
+        self.total_flits += other.total_flits;
+        self.total_hops += other.total_hops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TileId {
+        TileId::new(i)
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = TrafficStats::new();
+        assert_eq!(s.messages(), 0);
+        assert_eq!(s.average_hops(), 0.0);
+        assert!(s.hottest_link().is_none());
+        assert!(s.imbalance().is_none());
+    }
+
+    #[test]
+    fn record_single_route() {
+        let mut s = TrafficStats::new();
+        s.record_route(&[t(0), t(1), t(2)], 3);
+        assert_eq!(s.messages(), 1);
+        assert_eq!(s.hops(), 2);
+        assert_eq!(s.flit_hops(), 6);
+        assert_eq!(s.average_hops(), 2.0);
+        assert_eq!(s.active_links(), 2);
+    }
+
+    #[test]
+    fn hottest_link_and_imbalance() {
+        let mut s = TrafficStats::new();
+        s.record_route(&[t(0), t(1)], 1);
+        s.record_route(&[t(0), t(1)], 1);
+        s.record_route(&[t(2), t(3)], 1);
+        let (link, flits) = s.hottest_link().unwrap();
+        assert_eq!(link, (t(0), t(1)));
+        assert_eq!(flits, 2);
+        // max = 2, mean = 1.5 -> imbalance = 4/3.
+        assert!((s.imbalance().unwrap() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_hop_route_counts_message_only() {
+        let mut s = TrafficStats::new();
+        s.record_route(&[t(5)], 4);
+        assert_eq!(s.messages(), 1);
+        assert_eq!(s.hops(), 0);
+        assert_eq!(s.flit_hops(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counters() {
+        let mut a = TrafficStats::new();
+        a.record_route(&[t(0), t(1)], 1);
+        let mut b = TrafficStats::new();
+        b.record_route(&[t(0), t(1), t(2)], 2);
+        a.merge(&b);
+        assert_eq!(a.messages(), 2);
+        assert_eq!(a.hops(), 3);
+        assert_eq!(a.flit_hops(), 5);
+        assert_eq!(a.active_links(), 2);
+    }
+}

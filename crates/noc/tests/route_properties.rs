@@ -1,0 +1,63 @@
+//! Property-based tests of the interconnect model.
+
+use proptest::prelude::*;
+use rnuca_noc::{Network, Topology};
+use rnuca_types::config::SystemConfig;
+use rnuca_types::ids::TileId;
+
+proptest! {
+    /// Routes always have exactly `hops` edges, on both topologies and both
+    /// grid shapes used in the paper (4x4 and 4x2).
+    #[test]
+    fn route_length_equals_hop_count(
+        from in 0usize..16,
+        to in 0usize..16,
+        torus in any::<bool>(),
+        desktop in any::<bool>(),
+    ) {
+        let (w, h) = if desktop { (4usize, 2usize) } else { (4, 4) };
+        let from = TileId::new(from % (w * h));
+        let to = TileId::new(to % (w * h));
+        let topo = if torus { Topology::FoldedTorus } else { Topology::Mesh };
+        let route = topo.route(from, to, w, h);
+        prop_assert_eq!(route.len() as u32 - 1, topo.hops(from, to, w, h));
+        prop_assert_eq!(route[0], from);
+        prop_assert_eq!(*route.last().unwrap(), to);
+        // Every step in the route is between adjacent tiles.
+        for pair in route.windows(2) {
+            prop_assert_eq!(topo.hops(pair[0], pair[1], w, h), 1);
+        }
+    }
+
+    /// Torus distances never exceed mesh distances, and both respect the
+    /// triangle inequality.
+    #[test]
+    fn torus_never_longer_than_mesh_and_triangle_inequality(
+        a in 0usize..16,
+        b in 0usize..16,
+        c in 0usize..16,
+    ) {
+        let (a, b, c) = (TileId::new(a), TileId::new(b), TileId::new(c));
+        let torus = Topology::FoldedTorus;
+        let mesh = Topology::Mesh;
+        prop_assert!(torus.hops(a, b, 4, 4) <= mesh.hops(a, b, 4, 4));
+        prop_assert!(torus.hops(a, c, 4, 4) <= torus.hops(a, b, 4, 4) + torus.hops(b, c, 4, 4));
+        prop_assert!(mesh.hops(a, c, 4, 4) <= mesh.hops(a, b, 4, 4) + mesh.hops(b, c, 4, 4));
+    }
+
+    /// One-way latency grows monotonically with payload size and is zero only
+    /// for the zero-hop case.
+    #[test]
+    fn latency_monotonic_in_payload(from in 0usize..16, to in 0usize..16, payload in 1usize..512) {
+        let net = Network::new(Topology::FoldedTorus, SystemConfig::server_16().torus);
+        let (from, to) = (TileId::new(from), TileId::new(to));
+        let small = net.one_way_latency(from, to, payload);
+        let large = net.one_way_latency(from, to, payload + 32);
+        prop_assert!(large >= small);
+        if from == to {
+            prop_assert_eq!(small.value(), 0);
+        } else {
+            prop_assert!(small.value() > 0);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The OS page table extended with R-NUCA classification state.
+//!
+//! Section 4.3: "the operating system extends the page table entries with a
+//! bit that denotes the current classification, and a field to record the CID
+//! of the last core to access the page", plus a Poisoned state used during
+//! private-to-shared re-classification.
+
+use rnuca_types::addr::PageAddr;
+use rnuca_types::ids::CoreId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The classification recorded for a data page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageClass {
+    /// Accessed by a single core; placed in that core's local L2 slice.
+    Private,
+    /// Accessed by multiple cores; address-interleaved across all tiles.
+    Shared,
+    /// An instruction page; placed with rotational interleaving over a
+    /// fixed-center cluster. Instruction requests are classified immediately
+    /// from the requesting L1-I, but the page table still records the class so
+    /// that characterization and accuracy measurements can see it.
+    Instruction,
+}
+
+impl fmt::Display for PageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PageClass::Private => "private",
+            PageClass::Shared => "shared",
+            PageClass::Instruction => "instruction",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-page state kept by the OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageInfo {
+    /// Current classification.
+    pub class: PageClass,
+    /// The CID of the last core to access the page (meaningful for private pages).
+    pub owner: CoreId,
+    /// Set while a re-classification is in flight; TLB misses to a poisoned
+    /// page stall until it clears.
+    pub poisoned: bool,
+}
+
+/// The page table: a map from page number to classification state.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<PageAddr, PageInfo>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages with an entry.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no pages have been touched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a page.
+    pub fn get(&self, page: PageAddr) -> Option<&PageInfo> {
+        self.entries.get(&page)
+    }
+
+    /// Looks up a page mutably.
+    pub fn get_mut(&mut self, page: PageAddr) -> Option<&mut PageInfo> {
+        self.entries.get_mut(&page)
+    }
+
+    /// Inserts or replaces the entry for a page.
+    pub fn insert(&mut self, page: PageAddr, info: PageInfo) {
+        self.entries.insert(page, info);
+    }
+
+    /// Records a first touch: the page becomes private to `owner`
+    /// (or an instruction page if `instruction` is set).
+    pub fn first_touch(&mut self, page: PageAddr, owner: CoreId, instruction: bool) -> PageInfo {
+        let info = PageInfo {
+            class: if instruction { PageClass::Instruction } else { PageClass::Private },
+            owner,
+            poisoned: false,
+        };
+        self.entries.insert(page, info);
+        info
+    }
+
+    /// Marks a page poisoned (re-classification in flight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page has no entry.
+    pub fn poison(&mut self, page: PageAddr) {
+        self.entries
+            .get_mut(&page)
+            .expect("cannot poison a page that has never been touched")
+            .poisoned = true;
+    }
+
+    /// Completes a re-classification: clears the poison bit and sets the class to shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page has no entry.
+    pub fn complete_reclassification(&mut self, page: PageAddr) {
+        let info = self
+            .entries
+            .get_mut(&page)
+            .expect("cannot complete re-classification of an untouched page");
+        info.class = PageClass::Shared;
+        info.poisoned = false;
+    }
+
+    /// Transfers private ownership of a page to a new core (thread migration, Section 4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page has no entry.
+    pub fn migrate_owner(&mut self, page: PageAddr, new_owner: CoreId) {
+        let info = self
+            .entries
+            .get_mut(&page)
+            .expect("cannot migrate an untouched page");
+        info.owner = new_owner;
+        info.poisoned = false;
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&PageAddr, &PageInfo)> {
+        self.entries.iter()
+    }
+
+    /// Counts pages per class.
+    pub fn class_histogram(&self) -> (usize, usize, usize) {
+        let mut private = 0;
+        let mut shared = 0;
+        let mut instr = 0;
+        for info in self.entries.values() {
+            match info.class {
+                PageClass::Private => private += 1,
+                PageClass::Shared => shared += 1,
+                PageClass::Instruction => instr += 1,
+            }
+        }
+        (private, shared, instr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> PageAddr {
+        PageAddr::from_page_number(n)
+    }
+
+    #[test]
+    fn first_touch_creates_private_entry() {
+        let mut pt = PageTable::new();
+        assert!(pt.is_empty());
+        let info = pt.first_touch(p(1), CoreId::new(4), false);
+        assert_eq!(info.class, PageClass::Private);
+        assert_eq!(info.owner, CoreId::new(4));
+        assert!(!info.poisoned);
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.get(p(1)), Some(&info));
+    }
+
+    #[test]
+    fn first_touch_instruction_page() {
+        let mut pt = PageTable::new();
+        let info = pt.first_touch(p(2), CoreId::new(0), true);
+        assert_eq!(info.class, PageClass::Instruction);
+    }
+
+    #[test]
+    fn poison_then_reclassify() {
+        let mut pt = PageTable::new();
+        pt.first_touch(p(3), CoreId::new(1), false);
+        pt.poison(p(3));
+        assert!(pt.get(p(3)).unwrap().poisoned);
+        pt.complete_reclassification(p(3));
+        let info = pt.get(p(3)).unwrap();
+        assert_eq!(info.class, PageClass::Shared);
+        assert!(!info.poisoned);
+    }
+
+    #[test]
+    fn migrate_owner_keeps_private_class() {
+        let mut pt = PageTable::new();
+        pt.first_touch(p(4), CoreId::new(1), false);
+        pt.migrate_owner(p(4), CoreId::new(9));
+        let info = pt.get(p(4)).unwrap();
+        assert_eq!(info.class, PageClass::Private);
+        assert_eq!(info.owner, CoreId::new(9));
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let mut pt = PageTable::new();
+        pt.first_touch(p(1), CoreId::new(0), false);
+        pt.first_touch(p(2), CoreId::new(0), true);
+        pt.first_touch(p(3), CoreId::new(0), false);
+        pt.poison(p(3));
+        pt.complete_reclassification(p(3));
+        assert_eq!(pt.class_histogram(), (1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "never been touched")]
+    fn poisoning_unknown_page_panics() {
+        PageTable::new().poison(p(99));
+    }
+
+    #[test]
+    fn page_class_display() {
+        assert_eq!(PageClass::Private.to_string(), "private");
+        assert_eq!(PageClass::Shared.to_string(), "shared");
+        assert_eq!(PageClass::Instruction.to_string(), "instruction");
+    }
+}

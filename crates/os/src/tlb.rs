@@ -1,0 +1,168 @@
+//! Per-core TLB model.
+//!
+//! The TLB caches the page classification communicated by the OS ("the
+//! accessor receives a TLB fill with an additional Private bit set",
+//! Section 4.3). A TLB hit means the core can index the L2 without OS
+//! involvement; a TLB miss traps to the [`crate::OsClassifier`]. Shoot-downs
+//! remove a page's entry from every core's TLB during re-classification.
+
+use crate::page_table::PageClass;
+use rnuca_types::addr::PageAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics accumulated by a [`Tlb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Lookups that found a valid entry.
+    pub hits: u64,
+    /// Lookups that missed and trapped to the OS.
+    pub misses: u64,
+    /// Entries removed by shoot-downs.
+    pub shootdowns: u64,
+    /// Entries displaced by capacity.
+    pub evictions: u64,
+}
+
+/// A fully-associative, LRU translation lookaside buffer caching page classifications.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: usize,
+    entries: HashMap<PageAddr, (PageClass, u64)>,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with room for `capacity` page entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a TLB needs at least one entry");
+        Tlb { capacity, entries: HashMap::new(), clock: 0, stats: TlbStats::default() }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Looks up a page, returning its cached classification on a hit.
+    pub fn lookup(&mut self, page: PageAddr) -> Option<PageClass> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&page) {
+            Some((class, last_use)) => {
+                *last_use = clock;
+                self.stats.hits += 1;
+                Some(*class)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Fills the TLB with a classification after an OS trap.
+    pub fn fill(&mut self, page: PageAddr, class: PageClass) {
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&page) {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, t))| *t) {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(page, (class, self.clock));
+    }
+
+    /// Removes a page's entry (OS shoot-down). Returns `true` if it was present.
+    pub fn shootdown(&mut self, page: PageAddr) -> bool {
+        let present = self.entries.remove(&page).is_some();
+        if present {
+            self.stats.shootdowns += 1;
+        }
+        present
+    }
+
+    /// Checks residency without updating LRU or statistics.
+    pub fn peek(&self, page: PageAddr) -> Option<PageClass> {
+        self.entries.get(&page).map(|(c, _)| *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> PageAddr {
+        PageAddr::from_page_number(n)
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut tlb = Tlb::new(4);
+        assert_eq!(tlb.lookup(p(1)), None);
+        tlb.fill(p(1), PageClass::Private);
+        assert_eq!(tlb.lookup(p(1)), Some(PageClass::Private));
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(p(1), PageClass::Private);
+        tlb.fill(p(2), PageClass::Shared);
+        // Touch page 1 so page 2 is LRU.
+        tlb.lookup(p(1));
+        tlb.fill(p(3), PageClass::Private);
+        assert_eq!(tlb.peek(p(2)), None, "LRU entry should be evicted");
+        assert_eq!(tlb.peek(p(1)), Some(PageClass::Private));
+        assert_eq!(tlb.stats().evictions, 1);
+        assert_eq!(tlb.len(), 2);
+    }
+
+    #[test]
+    fn refilling_existing_page_updates_class_without_eviction() {
+        let mut tlb = Tlb::new(1);
+        tlb.fill(p(1), PageClass::Private);
+        tlb.fill(p(1), PageClass::Shared);
+        assert_eq!(tlb.peek(p(1)), Some(PageClass::Shared));
+        assert_eq!(tlb.stats().evictions, 0);
+    }
+
+    #[test]
+    fn shootdown_removes_entry() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(p(7), PageClass::Private);
+        assert!(tlb.shootdown(p(7)));
+        assert!(!tlb.shootdown(p(7)));
+        assert_eq!(tlb.stats().shootdowns, 1);
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        Tlb::new(0);
+    }
+}

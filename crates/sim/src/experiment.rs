@@ -1,0 +1,312 @@
+//! The experiment runner: the paper's evaluation loop.
+//!
+//! [`DesignComparison::run_evaluation`] runs every workload of the evaluation
+//! suite under every design (P, A, S, R, I) with warmed caches, producing the
+//! data behind Figures 7-10 and 12. [`DesignComparison::run_cluster_sweep`]
+//! sweeps the R-NUCA instruction-cluster size for Figure 11. Workload/design
+//! pairs are independent, so they are simulated on parallel threads.
+
+use crate::design::{AsrPolicy, LlcDesign};
+use crate::simulator::{CmpSimulator, MeasuredRun};
+use rnuca_workloads::{TraceGenerator, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// References used to warm caches, TLBs, and page tables before measuring.
+    pub warmup_refs: usize,
+    /// References measured.
+    pub measured_refs: usize,
+    /// Trace seed (same seed = same reference stream for every design).
+    pub seed: u64,
+    /// If set, the ASR design reports the best of its six versions per
+    /// workload (the paper's methodology); otherwise only the adaptive
+    /// version runs.
+    pub asr_best_of: bool,
+}
+
+impl ExperimentConfig {
+    /// The configuration used by the figure harness: long enough runs for
+    /// stable occupancy in every slice.
+    pub fn full() -> Self {
+        ExperimentConfig { warmup_refs: 600_000, measured_refs: 300_000, seed: 42, asr_best_of: true }
+    }
+
+    /// A much smaller configuration for unit tests and Criterion benches.
+    pub fn quick() -> Self {
+        ExperimentConfig { warmup_refs: 30_000, measured_refs: 20_000, seed: 42, asr_best_of: false }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::full()
+    }
+}
+
+/// The result of one `(workload, design)` simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Design simulated.
+    pub design: LlcDesign,
+    /// Measured CPI detail and rates.
+    pub run: MeasuredRun,
+}
+
+impl RunResult {
+    /// Total CPI of the run.
+    pub fn total_cpi(&self) -> f64 {
+        self.run.total_cpi()
+    }
+
+    /// Speedup of this design relative to a baseline run of the same workload
+    /// (CPI ratio; >1 means faster than the baseline).
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        baseline.total_cpi() / self.total_cpi()
+    }
+}
+
+/// All designs' results for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadResults {
+    /// Workload name.
+    pub workload: String,
+    /// Whether the paper buckets this workload as private-averse
+    /// (the private design is the slower baseline) or shared-averse.
+    pub private_averse: bool,
+    /// One result per design, in P/A/S/R(/I) order.
+    pub results: Vec<RunResult>,
+}
+
+impl WorkloadResults {
+    /// The result for a given design letter ("P", "A", "S", "R", "I"), if present.
+    pub fn by_letter(&self, letter: &str) -> Option<&RunResult> {
+        self.results.iter().find(|r| r.design.letter() == letter)
+    }
+
+    /// The private-design baseline result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the private design was not part of the run.
+    pub fn private_baseline(&self) -> &RunResult {
+        self.by_letter("P").expect("evaluation always includes the private design")
+    }
+
+    /// Speedups of every design over the private baseline (Figure 12).
+    pub fn speedups_over_private(&self) -> Vec<(LlcDesign, f64)> {
+        let baseline = self.private_baseline();
+        self.results.iter().map(|r| (r.design, r.speedup_over(baseline))).collect()
+    }
+
+    /// CPI of every design normalised to the private design's total CPI (Figures 7-10).
+    pub fn normalized_total_cpi(&self) -> Vec<(LlcDesign, f64)> {
+        let base = self.private_baseline().total_cpi();
+        self.results.iter().map(|r| (r.design, r.total_cpi() / base)).collect()
+    }
+}
+
+/// The complete evaluation: every workload under every design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignComparison {
+    /// Per-workload results in the paper's figure order.
+    pub workloads: Vec<WorkloadResults>,
+}
+
+impl DesignComparison {
+    /// Runs one workload under one design.
+    pub fn run_single(spec: &WorkloadSpec, design: LlcDesign, cfg: &ExperimentConfig) -> RunResult {
+        let mut gen = TraceGenerator::new(spec, cfg.seed);
+        let mut sim = CmpSimulator::new(design, spec);
+        sim.run_warmup(&mut gen, cfg.warmup_refs);
+        let run = sim.run_measured(&mut gen, cfg.measured_refs);
+        RunResult { workload: spec.name.clone(), design, run }
+    }
+
+    /// Runs the ASR design, optionally taking the best of its six versions
+    /// (the paper reports the highest-performing version per workload).
+    pub fn run_asr(spec: &WorkloadSpec, cfg: &ExperimentConfig) -> RunResult {
+        if !cfg.asr_best_of {
+            return Self::run_single(spec, LlcDesign::Asr { policy: AsrPolicy::Adaptive }, cfg);
+        }
+        AsrPolicy::all_versions()
+            .into_iter()
+            .map(|policy| Self::run_single(spec, LlcDesign::Asr { policy }, cfg))
+            .min_by(|a, b| a.total_cpi().total_cmp(&b.total_cpi()))
+            .expect("at least one ASR version exists")
+    }
+
+    /// Runs one workload under the P/A/S/R/I design set.
+    pub fn run_workload(spec: &WorkloadSpec, cfg: &ExperimentConfig) -> WorkloadResults {
+        let private = Self::run_single(spec, LlcDesign::Private, cfg);
+        let asr = Self::run_asr(spec, cfg);
+        let shared = Self::run_single(spec, LlcDesign::Shared, cfg);
+        let rnuca = Self::run_single(spec, LlcDesign::rnuca_default(), cfg);
+        let ideal = Self::run_single(spec, LlcDesign::Ideal, cfg);
+        let private_averse = private.total_cpi() >= shared.total_cpi();
+        WorkloadResults {
+            workload: spec.name.clone(),
+            private_averse,
+            results: vec![private, asr, shared, rnuca, ideal],
+        }
+    }
+
+    /// Runs the full evaluation suite, one workload per thread.
+    pub fn run_evaluation(cfg: &ExperimentConfig) -> DesignComparison {
+        let specs = WorkloadSpec::evaluation_suite();
+        let mut workloads: Vec<Option<WorkloadResults>> = vec![None; specs.len()];
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for spec in &specs {
+                handles.push(scope.spawn(move |_| Self::run_workload(spec, cfg)));
+            }
+            for (slot, handle) in workloads.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("simulation thread panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        DesignComparison { workloads: workloads.into_iter().map(Option::unwrap).collect() }
+    }
+
+    /// Sweeps the R-NUCA instruction-cluster size over `sizes` for every
+    /// workload (Figure 11). Returns, per workload, one result per size.
+    pub fn run_cluster_sweep(cfg: &ExperimentConfig, sizes: &[usize]) -> Vec<(String, Vec<(usize, MeasuredRun)>)> {
+        let specs = WorkloadSpec::evaluation_suite();
+        let mut out = Vec::with_capacity(specs.len());
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for spec in &specs {
+                handles.push(scope.spawn(move |_| {
+                    let max = spec.num_cores();
+                    let rows: Vec<(usize, MeasuredRun)> = sizes
+                        .iter()
+                        .copied()
+                        .filter(|&s| s <= max)
+                        .map(|s| {
+                            let r = Self::run_single(
+                                spec,
+                                LlcDesign::RNuca { instr_cluster_size: s },
+                                cfg,
+                            );
+                            (s, r.run)
+                        })
+                        .collect();
+                    (spec.name.clone(), rows)
+                }));
+            }
+            for handle in handles {
+                out.push(handle.join().expect("simulation thread panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        out
+    }
+
+    /// The results for one workload by name.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadResults> {
+        self.workloads.iter().find(|w| w.workload == name)
+    }
+
+    /// Geometric-mean speedup of a design over the private baseline across all workloads.
+    pub fn mean_speedup_over_private(&self, letter: &str) -> f64 {
+        let speedups: Vec<f64> = self
+            .workloads
+            .iter()
+            .filter_map(|w| {
+                let baseline = w.private_baseline();
+                w.by_letter(letter).map(|r| r.speedup_over(baseline))
+            })
+            .collect();
+        if speedups.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = speedups.iter().map(|s| s.ln()).sum();
+        (log_sum / speedups.len() as f64).exp()
+    }
+
+    /// Geometric-mean speedup of one design over another across all workloads.
+    pub fn mean_speedup(&self, design_letter: &str, baseline_letter: &str) -> f64 {
+        let speedups: Vec<f64> = self
+            .workloads
+            .iter()
+            .filter_map(|w| {
+                let baseline = w.by_letter(baseline_letter)?;
+                w.by_letter(design_letter).map(|r| r.speedup_over(baseline))
+            })
+            .collect();
+        if speedups.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = speedups.iter().map(|s| s.ln()).sum();
+        (log_sum / speedups.len() as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_single_produces_named_result() {
+        let spec = WorkloadSpec::em3d();
+        let cfg = ExperimentConfig::quick();
+        let r = DesignComparison::run_single(&spec, LlcDesign::Shared, &cfg);
+        assert_eq!(r.workload, "em3d");
+        assert_eq!(r.design.letter(), "S");
+        assert!(r.total_cpi() > 0.0);
+    }
+
+    #[test]
+    fn workload_results_expose_speedups_and_normalised_cpi() {
+        let spec = WorkloadSpec::mix();
+        let cfg = ExperimentConfig::quick();
+        let w = DesignComparison::run_workload(&spec, &cfg);
+        assert_eq!(w.results.len(), 5);
+        let speedups = w.speedups_over_private();
+        assert_eq!(speedups.len(), 5);
+        // The private design's speedup over itself is exactly 1.
+        let p = speedups.iter().find(|(d, _)| d.letter() == "P").unwrap();
+        assert!((p.1 - 1.0).abs() < 1e-12);
+        // Normalised CPI of the private design is exactly 1.
+        let norm = w.normalized_total_cpi();
+        let pn = norm.iter().find(|(d, _)| d.letter() == "P").unwrap();
+        assert!((pn.1 - 1.0).abs() < 1e-12);
+        // Ideal is at least as fast as everything else.
+        let ideal = w.by_letter("I").unwrap().total_cpi();
+        for r in &w.results {
+            assert!(ideal <= r.total_cpi() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn asr_best_of_picks_the_fastest_version() {
+        let spec = WorkloadSpec::oltp_db2();
+        let mut cfg = ExperimentConfig::quick();
+        cfg.asr_best_of = true;
+        cfg.warmup_refs = 10_000;
+        cfg.measured_refs = 8_000;
+        let best = DesignComparison::run_asr(&spec, &cfg);
+        // The best-of result can be no slower than the adaptive version alone.
+        let adaptive =
+            DesignComparison::run_single(&spec, LlcDesign::Asr { policy: AsrPolicy::Adaptive }, &cfg);
+        assert!(best.total_cpi() <= adaptive.total_cpi() + 1e-9);
+    }
+
+    #[test]
+    fn cluster_sweep_covers_requested_sizes() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.warmup_refs = 5_000;
+        cfg.measured_refs = 5_000;
+        let sweep = DesignComparison::run_cluster_sweep(&cfg, &[1, 4]);
+        assert_eq!(sweep.len(), WorkloadSpec::evaluation_suite().len());
+        for (name, rows) in &sweep {
+            assert!(!name.is_empty());
+            assert_eq!(rows.len(), 2, "both sizes apply to every workload");
+            assert_eq!(rows[0].0, 1);
+            assert_eq!(rows[1].0, 4);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The per-tile cache state managed by the simulator.
+//!
+//! A tile couples a core with its L2 slice (plus a small victim buffer). The
+//! simulator stores per-block metadata in the slice — the block's access
+//! class, its page (for R-NUCA page shoot-downs), and a dirty bit — and the
+//! tile exposes the small set of operations the design policies need.
+
+use rnuca_cache::{CacheArray, CacheStats, VictimCache};
+use rnuca_types::access::AccessClass;
+use rnuca_types::addr::{BlockAddr, PageAddr};
+use rnuca_types::config::SystemConfig;
+use rnuca_types::ids::TileId;
+use serde::{Deserialize, Serialize};
+
+/// Metadata stored with every block resident in an L2 slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockMeta {
+    /// Ground-truth access class of the block (used only for statistics).
+    pub class: AccessClass,
+    /// The OS page the block belongs to (used for R-NUCA shoot-downs).
+    pub page: PageAddr,
+    /// Whether the resident copy is dirty with respect to memory.
+    pub dirty: bool,
+}
+
+/// One tile: an L2 slice plus its victim buffer.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    id: TileId,
+    slice: CacheArray<BlockMeta>,
+    victims: VictimCache<BlockMeta>,
+}
+
+impl Tile {
+    /// Builds the tile's cache structures from the system configuration.
+    pub fn new(id: TileId, config: &SystemConfig) -> Self {
+        Tile {
+            id,
+            slice: CacheArray::new(config.l2_slice.geometry),
+            victims: VictimCache::new(config.l2_slice.victim_entries),
+        }
+    }
+
+    /// The tile's identifier.
+    pub fn id(&self) -> TileId {
+        self.id
+    }
+
+    /// Looks up a block in the slice (checking the victim buffer on a miss and
+    /// re-promoting on a victim hit). Returns `true` on a hit.
+    pub fn probe(&mut self, block: BlockAddr) -> bool {
+        if self.slice.probe(block).is_some() {
+            return true;
+        }
+        if let Some(meta) = self.victims.recall(block) {
+            // Re-promote from the victim buffer; anything displaced goes back there.
+            if let Some(ev) = self.slice.insert(block, meta) {
+                self.victims.insert(ev.block, ev.meta);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Checks residency without disturbing replacement state.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.slice.contains(block) || self.victims.contains(block)
+    }
+
+    /// Marks a resident block dirty; returns `true` if the block was resident.
+    pub fn mark_dirty(&mut self, block: BlockAddr) -> bool {
+        match self.slice.probe_mut(block) {
+            Some(meta) => {
+                meta.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fills a block into the slice, returning the displaced block (if any)
+    /// after it has been parked in the victim buffer and finally dropped.
+    ///
+    /// The returned eviction is the block that left the tile entirely (fell
+    /// out of both the slice and the victim buffer), which is what the
+    /// directory needs to know about.
+    pub fn fill(&mut self, block: BlockAddr, meta: BlockMeta) -> Option<(BlockAddr, BlockMeta)> {
+        let evicted = self.slice.insert(block, meta)?;
+        self.victims.insert(evicted.block, evicted.meta)
+    }
+
+    /// Invalidates a block everywhere in the tile, returning its metadata if it was resident.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<BlockMeta> {
+        let from_slice = self.slice.invalidate(block);
+        let from_victims = self.victims.invalidate(block);
+        from_slice.or(from_victims)
+    }
+
+    /// Invalidates every block belonging to `page` (an R-NUCA shoot-down),
+    /// returning how many blocks were dropped.
+    pub fn invalidate_page(&mut self, page: PageAddr) -> usize {
+        let removed = self.slice.invalidate_matching(|_, meta| meta.page == page);
+        removed.len()
+    }
+
+    /// Number of blocks resident in the slice (excluding the victim buffer).
+    pub fn resident_blocks(&self) -> usize {
+        self.slice.len()
+    }
+
+    /// Statistics of the slice array.
+    pub fn slice_stats(&self) -> &CacheStats {
+        self.slice.stats()
+    }
+
+    /// Number of resident blocks of each class `(instructions, private, shared)`.
+    pub fn class_occupancy(&self) -> (usize, usize, usize) {
+        let mut instr = 0;
+        let mut private = 0;
+        let mut shared = 0;
+        for (_, meta) in self.slice.iter() {
+            match meta.class {
+                AccessClass::Instruction => instr += 1,
+                AccessClass::PrivateData => private += 1,
+                AccessClass::SharedData => shared += 1,
+            }
+        }
+        (instr, private, shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(class: AccessClass, page: u64) -> BlockMeta {
+        BlockMeta { class, page: PageAddr::from_page_number(page), dirty: false }
+    }
+
+    fn tile() -> Tile {
+        Tile::new(TileId::new(0), &SystemConfig::server_16())
+    }
+
+    fn b(n: u64) -> BlockAddr {
+        BlockAddr::from_block_number(n)
+    }
+
+    #[test]
+    fn probe_miss_then_fill_then_hit() {
+        let mut t = tile();
+        assert!(!t.probe(b(1)));
+        assert!(t.fill(b(1), meta(AccessClass::PrivateData, 0)).is_none());
+        assert!(t.probe(b(1)));
+        assert!(t.contains(b(1)));
+        assert_eq!(t.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn victim_buffer_catches_recent_evictions() {
+        let mut t = tile();
+        // The server L2 slice has 1024 sets x 16 ways; blocks that share set 0
+        // are multiples of 1024. Fill 17 of them to force one eviction.
+        for i in 0..17u64 {
+            t.fill(b(i * 1024), meta(AccessClass::PrivateData, i));
+        }
+        // The LRU block (block 0) fell out of the slice but sits in the victim buffer.
+        assert_eq!(t.resident_blocks(), 16);
+        assert!(t.contains(b(0)), "victim buffer should still hold the evicted block");
+        assert!(t.probe(b(0)), "probing re-promotes from the victim buffer");
+    }
+
+    #[test]
+    fn mark_dirty_only_affects_resident_blocks() {
+        let mut t = tile();
+        assert!(!t.mark_dirty(b(9)));
+        t.fill(b(9), meta(AccessClass::SharedData, 1));
+        assert!(t.mark_dirty(b(9)));
+    }
+
+    #[test]
+    fn invalidate_page_drops_only_that_page() {
+        let mut t = tile();
+        t.fill(b(1), meta(AccessClass::PrivateData, 7));
+        t.fill(b(2), meta(AccessClass::PrivateData, 7));
+        t.fill(b(3), meta(AccessClass::PrivateData, 8));
+        assert_eq!(t.invalidate_page(PageAddr::from_page_number(7)), 2);
+        assert!(!t.contains(b(1)));
+        assert!(t.contains(b(3)));
+    }
+
+    #[test]
+    fn invalidate_single_block() {
+        let mut t = tile();
+        t.fill(b(5), meta(AccessClass::Instruction, 2));
+        assert!(t.invalidate(b(5)).is_some());
+        assert!(t.invalidate(b(5)).is_none());
+    }
+
+    #[test]
+    fn class_occupancy_counts() {
+        let mut t = tile();
+        t.fill(b(1), meta(AccessClass::Instruction, 0));
+        t.fill(b(2), meta(AccessClass::PrivateData, 0));
+        t.fill(b(3), meta(AccessClass::PrivateData, 0));
+        t.fill(b(4), meta(AccessClass::SharedData, 0));
+        assert_eq!(t.class_occupancy(), (1, 2, 1));
+    }
+}

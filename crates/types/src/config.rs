@@ -1,0 +1,341 @@
+//! System configuration: the parameters of Table 1 of the paper.
+//!
+//! Two presets are provided: [`SystemConfig::server_16`] (the 16-core CMP used
+//! for server and scientific workloads) and [`SystemConfig::desktop_8`] (the
+//! 8-core CMP used for the multi-programmed MIX workload).
+
+use crate::error::ConfigError;
+use crate::latency::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a single set-associative cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Block (line) size in bytes.
+    pub block_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a cache geometry, validating that it describes a realizable array.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any parameter is zero, the block size is not a
+    /// power of two, the capacity is not a multiple of `ways * block_bytes`,
+    /// or the resulting set count is not a power of two.
+    pub fn new(capacity_bytes: usize, ways: usize, block_bytes: usize) -> Result<Self, ConfigError> {
+        if capacity_bytes == 0 || ways == 0 || block_bytes == 0 {
+            return Err(ConfigError::new("cache geometry parameters must be non-zero"));
+        }
+        if !block_bytes.is_power_of_two() {
+            return Err(ConfigError::new("block size must be a power of two"));
+        }
+        let way_bytes = ways * block_bytes;
+        if !capacity_bytes.is_multiple_of(way_bytes) {
+            return Err(ConfigError::new(
+                "capacity must be a multiple of ways * block size",
+            ));
+        }
+        let sets = capacity_bytes / way_bytes;
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::new("number of sets must be a power of two"));
+        }
+        Ok(CacheGeometry { capacity_bytes, ways, block_bytes })
+    }
+
+    /// Number of sets in the array.
+    pub fn num_sets(&self) -> usize {
+        self.capacity_bytes / (self.ways * self.block_bytes)
+    }
+
+    /// Number of blocks the array can hold.
+    pub fn num_blocks(&self) -> usize {
+        self.capacity_bytes / self.block_bytes
+    }
+}
+
+/// Configuration of the per-tile L1 caches (split I/D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L1Config {
+    /// Geometry of each of the L1-I and L1-D arrays.
+    pub geometry: CacheGeometry,
+    /// Load-to-use latency of an L1 hit.
+    pub hit_latency: Cycles,
+    /// Number of outstanding-miss registers.
+    pub mshrs: usize,
+    /// Victim-cache entries attached to each L1.
+    pub victim_entries: usize,
+}
+
+/// Configuration of one L2 NUCA slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L2SliceConfig {
+    /// Geometry of the slice.
+    pub geometry: CacheGeometry,
+    /// Access latency of a hit in the slice (bank access only, excluding network).
+    pub hit_latency: Cycles,
+    /// Number of outstanding-miss registers.
+    pub mshrs: usize,
+    /// Victim-cache entries attached to each slice.
+    pub victim_entries: usize,
+}
+
+/// Configuration of the on-chip interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Torus width (tiles per row).
+    pub width: usize,
+    /// Torus height (tiles per column).
+    pub height: usize,
+    /// Link traversal latency.
+    pub link_latency: Cycles,
+    /// Router pipeline latency.
+    pub router_latency: Cycles,
+    /// Link width in bytes (used for serialization latency of data messages).
+    pub link_bytes: usize,
+}
+
+impl NocConfig {
+    /// Number of tiles on the torus.
+    pub fn num_tiles(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Latency of a single hop (one link plus one router).
+    pub fn hop_latency(&self) -> Cycles {
+        self.link_latency + self.router_latency
+    }
+}
+
+/// Configuration of main memory and the on-chip memory controllers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Total main-memory capacity in bytes.
+    pub capacity_bytes: u64,
+    /// OS page size in bytes.
+    pub page_bytes: usize,
+    /// DRAM access latency in core cycles (45 ns at 2 GHz = 90 cycles).
+    pub access_latency: Cycles,
+    /// Number of cores served by each memory controller.
+    pub cores_per_controller: usize,
+}
+
+/// Full system configuration (one row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of processor cores (== number of tiles).
+    pub num_cores: usize,
+    /// Core clock frequency in Hz (2 GHz in the paper).
+    pub clock_hz: u64,
+    /// Per-tile L1 configuration.
+    pub l1: L1Config,
+    /// Per-tile L2 slice configuration.
+    pub l2_slice: L2SliceConfig,
+    /// Interconnect configuration.
+    pub torus: NocConfig,
+    /// Memory system configuration.
+    pub memory: MemoryConfig,
+}
+
+impl SystemConfig {
+    /// The 16-core server/scientific configuration of Table 1:
+    /// 1 MB 16-way L2 slice per core with a 14-cycle hit, 4×4 folded torus.
+    pub fn server_16() -> Self {
+        SystemConfig {
+            num_cores: 16,
+            clock_hz: 2_000_000_000,
+            l1: L1Config {
+                geometry: CacheGeometry::new(64 * 1024, 2, 64)
+                    .expect("L1 geometry from Table 1 is valid"),
+                hit_latency: Cycles(2),
+                mshrs: 32,
+                victim_entries: 16,
+            },
+            l2_slice: L2SliceConfig {
+                geometry: CacheGeometry::new(1024 * 1024, 16, 64)
+                    .expect("L2 geometry from Table 1 is valid"),
+                hit_latency: Cycles(14),
+                mshrs: 32,
+                victim_entries: 16,
+            },
+            torus: NocConfig {
+                width: 4,
+                height: 4,
+                link_latency: Cycles(1),
+                router_latency: Cycles(2),
+                link_bytes: 32,
+            },
+            memory: MemoryConfig {
+                capacity_bytes: 3 * 1024 * 1024 * 1024,
+                page_bytes: 8192,
+                access_latency: Cycles(90),
+                cores_per_controller: 4,
+            },
+        }
+    }
+
+    /// The 8-core multi-programmed configuration of Table 1:
+    /// 3 MB 12-way L2 slice per core with a 25-cycle hit, 4×2 folded torus.
+    pub fn desktop_8() -> Self {
+        SystemConfig {
+            num_cores: 8,
+            clock_hz: 2_000_000_000,
+            l1: L1Config {
+                geometry: CacheGeometry::new(64 * 1024, 2, 64)
+                    .expect("L1 geometry from Table 1 is valid"),
+                hit_latency: Cycles(2),
+                mshrs: 32,
+                victim_entries: 16,
+            },
+            l2_slice: L2SliceConfig {
+                geometry: CacheGeometry::new(3 * 1024 * 1024, 12, 64)
+                    .expect("L2 geometry from Table 1 is valid"),
+                hit_latency: Cycles(25),
+                mshrs: 32,
+                victim_entries: 16,
+            },
+            torus: NocConfig {
+                width: 4,
+                height: 2,
+                link_latency: Cycles(1),
+                router_latency: Cycles(2),
+                link_bytes: 32,
+            },
+            memory: MemoryConfig {
+                capacity_bytes: 3 * 1024 * 1024 * 1024,
+                page_bytes: 8192,
+                access_latency: Cycles(90),
+                cores_per_controller: 4,
+            },
+        }
+    }
+
+    /// Number of tiles (== cores) in the system.
+    pub fn num_tiles(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Number of memory controllers in the system.
+    pub fn num_mem_controllers(&self) -> usize {
+        self.num_cores.div_ceil(self.memory.cores_per_controller)
+    }
+
+    /// Aggregate L2 capacity across all slices, in bytes.
+    pub fn aggregate_l2_bytes(&self) -> usize {
+        self.num_cores * self.l2_slice.geometry.capacity_bytes
+    }
+
+    /// Validates internal consistency (torus covers all tiles, geometries valid).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the torus dimensions do not multiply to the core
+    /// count, or either cache geometry fails validation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.torus.num_tiles() != self.num_cores {
+            return Err(ConfigError::new(
+                "torus dimensions must cover exactly one tile per core",
+            ));
+        }
+        if self.num_cores == 0 {
+            return Err(ConfigError::new("system must have at least one core"));
+        }
+        if !self.memory.page_bytes.is_power_of_two() {
+            return Err(ConfigError::new("page size must be a power of two"));
+        }
+        CacheGeometry::new(
+            self.l1.geometry.capacity_bytes,
+            self.l1.geometry.ways,
+            self.l1.geometry.block_bytes,
+        )?;
+        CacheGeometry::new(
+            self.l2_slice.geometry.capacity_bytes,
+            self.l2_slice.geometry.ways,
+            self.l2_slice.geometry.block_bytes,
+        )?;
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::server_16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_server_parameters() {
+        let cfg = SystemConfig::server_16();
+        assert_eq!(cfg.num_cores, 16);
+        assert_eq!(cfg.l2_slice.geometry.capacity_bytes, 1024 * 1024);
+        assert_eq!(cfg.l2_slice.geometry.ways, 16);
+        assert_eq!(cfg.l2_slice.hit_latency, Cycles(14));
+        assert_eq!(cfg.l1.geometry.capacity_bytes, 64 * 1024);
+        assert_eq!(cfg.l1.hit_latency, Cycles(2));
+        assert_eq!(cfg.torus.width * cfg.torus.height, 16);
+        assert_eq!(cfg.memory.access_latency, Cycles(90));
+        assert_eq!(cfg.num_mem_controllers(), 4);
+        assert_eq!(cfg.aggregate_l2_bytes(), 16 * 1024 * 1024);
+        cfg.validate().expect("preset must validate");
+    }
+
+    #[test]
+    fn table1_desktop_parameters() {
+        let cfg = SystemConfig::desktop_8();
+        assert_eq!(cfg.num_cores, 8);
+        assert_eq!(cfg.l2_slice.geometry.capacity_bytes, 3 * 1024 * 1024);
+        assert_eq!(cfg.l2_slice.geometry.ways, 12);
+        assert_eq!(cfg.l2_slice.hit_latency, Cycles(25));
+        assert_eq!(cfg.torus.width, 4);
+        assert_eq!(cfg.torus.height, 2);
+        assert_eq!(cfg.num_mem_controllers(), 2);
+        cfg.validate().expect("preset must validate");
+    }
+
+    #[test]
+    fn geometry_validation_rejects_bad_shapes() {
+        assert!(CacheGeometry::new(0, 2, 64).is_err());
+        assert!(CacheGeometry::new(64 * 1024, 0, 64).is_err());
+        assert!(CacheGeometry::new(64 * 1024, 2, 48).is_err());
+        assert!(CacheGeometry::new(65 * 1024, 2, 64).is_err());
+        // 3 MB 12-way 64 B => 4096 sets, valid.
+        assert!(CacheGeometry::new(3 * 1024 * 1024, 12, 64).is_ok());
+        // 96 KB 2-way 64 B => 768 sets: not a power of two.
+        assert!(CacheGeometry::new(96 * 1024, 2, 64).is_err());
+    }
+
+    #[test]
+    fn geometry_derived_quantities() {
+        let g = CacheGeometry::new(1024 * 1024, 16, 64).unwrap();
+        assert_eq!(g.num_sets(), 1024);
+        assert_eq!(g.num_blocks(), 16384);
+        let l1 = CacheGeometry::new(64 * 1024, 2, 64).unwrap();
+        assert_eq!(l1.num_sets(), 512);
+    }
+
+    #[test]
+    fn hop_latency_is_link_plus_router() {
+        let cfg = SystemConfig::server_16();
+        assert_eq!(cfg.torus.hop_latency(), Cycles(3));
+    }
+
+    #[test]
+    fn validate_catches_mismatched_torus() {
+        let mut cfg = SystemConfig::server_16();
+        cfg.torus.width = 5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_server_16() {
+        assert_eq!(SystemConfig::default(), SystemConfig::server_16());
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types shared by the configuration and construction paths.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid system or cache configuration.
+///
+/// Returned by constructors that validate their arguments (cache geometry,
+/// torus dimensions, cluster sizes, ...). The message is lowercase and
+/// concise, per Rust API guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError { message: message.into() }
+    }
+
+    /// Returns the error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_message() {
+        let e = ConfigError::new("cluster size must be a power of two");
+        assert_eq!(e.to_string(), "cluster size must be a power of two");
+        assert_eq!(e.message(), "cluster size must be a power of two");
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<T: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

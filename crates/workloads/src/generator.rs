@@ -1,0 +1,304 @@
+//! The synthetic trace generator: turns a [`WorkloadSpec`] into a stream of L2 references.
+//!
+//! Cores issue references round-robin (the paper's server and scientific
+//! workloads run one similar thread per core, so per-core reference rates are
+//! balanced). Each reference picks an access class according to the spec's
+//! class mix, then a block within the class's region using a two-level
+//! hot/cold locality model, and finally a read/write kind according to the
+//! class's write fraction.
+
+use crate::regions::AddressLayout;
+use crate::spec::{SharingPattern, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnuca_types::access::{AccessClass, AccessKind, MemoryAccess};
+use rnuca_types::addr::BlockAddr;
+use rnuca_types::ids::CoreId;
+
+/// A reproducible, infinite generator of L2 references for one workload.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    name: String,
+    layout: AddressLayout,
+    num_cores: usize,
+    instr_fraction: f64,
+    private_fraction: f64,
+    shared_write_fraction: f64,
+    private_write_fraction: f64,
+    hot_access_fraction: f64,
+    hot_footprint_fraction: f64,
+    sharing: SharingPattern,
+    rng: StdRng,
+    next_core: usize,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn new(spec: &WorkloadSpec, seed: u64) -> Self {
+        spec.validate().expect("workload spec must be valid");
+        let cfg = spec.system_config();
+        let layout = AddressLayout::new(
+            cfg.l2_slice.geometry.block_bytes,
+            cfg.memory.page_bytes,
+            spec.num_cores(),
+            spec.instr_footprint_kb,
+            spec.shared_footprint_kb,
+            spec.private_footprint_kb_per_core,
+        );
+        TraceGenerator {
+            name: spec.name.clone(),
+            layout,
+            num_cores: spec.num_cores(),
+            instr_fraction: spec.instr_fraction,
+            private_fraction: spec.private_fraction,
+            shared_write_fraction: spec.shared_write_fraction,
+            private_write_fraction: spec.private_write_fraction,
+            hot_access_fraction: spec.hot_access_fraction,
+            hot_footprint_fraction: spec.hot_footprint_fraction,
+            sharing: spec.sharing,
+            rng: StdRng::seed_from_u64(seed),
+            next_core: 0,
+        }
+    }
+
+    /// The workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The address-space layout used by this generator.
+    pub fn layout(&self) -> &AddressLayout {
+        &self.layout
+    }
+
+    /// Number of cores issuing references.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Generates a batch of `n` references.
+    pub fn generate(&mut self, n: usize) -> Vec<MemoryAccess> {
+        (0..n).map(|_| self.next_access()).collect()
+    }
+
+    /// Generates the next reference.
+    pub fn next_access(&mut self) -> MemoryAccess {
+        let core = CoreId::new(self.next_core);
+        self.next_core = (self.next_core + 1) % self.num_cores;
+
+        let class_roll: f64 = self.rng.gen();
+        if class_roll < self.instr_fraction {
+            self.instruction_access(core)
+        } else if class_roll < self.instr_fraction + self.private_fraction {
+            self.private_access(core)
+        } else {
+            self.shared_access(core)
+        }
+    }
+
+    /// Picks an index within `footprint` using the two-level hot/cold model.
+    fn pick_index(&mut self, footprint: u64) -> u64 {
+        if footprint <= 1 {
+            return 0;
+        }
+        let hot_blocks = ((footprint as f64 * self.hot_footprint_fraction) as u64).max(1);
+        if self.rng.gen_bool(self.hot_access_fraction.clamp(0.0, 1.0)) {
+            self.rng.gen_range(0..hot_blocks)
+        } else {
+            self.rng.gen_range(0..footprint)
+        }
+    }
+
+    fn instruction_access(&mut self, core: CoreId) -> MemoryAccess {
+        let idx = self.pick_index(self.layout.instr_blocks());
+        let block = self.layout.instr_block(idx);
+        MemoryAccess::new(
+            core,
+            block.base_addr(self.layout.block_bytes()),
+            AccessKind::InstrFetch,
+            AccessClass::Instruction,
+        )
+    }
+
+    fn private_access(&mut self, core: CoreId) -> MemoryAccess {
+        let idx = self.pick_index(self.layout.private_blocks_per_core());
+        let block = self.layout.private_block(core, idx);
+        let kind = if self.rng.gen_bool(self.private_write_fraction.clamp(0.0, 1.0)) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        MemoryAccess::new(core, block.base_addr(self.layout.block_bytes()), kind, AccessClass::PrivateData)
+    }
+
+    fn shared_access(&mut self, core: CoreId) -> MemoryAccess {
+        let block = self.pick_shared_block(core);
+        let kind = if self.rng.gen_bool(self.shared_write_fraction.clamp(0.0, 1.0)) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        MemoryAccess::new(core, block.base_addr(self.layout.block_bytes()), kind, AccessClass::SharedData)
+    }
+
+    /// Picks a shared block respecting the spec's sharing pattern.
+    fn pick_shared_block(&mut self, core: CoreId) -> BlockAddr {
+        let footprint = self.layout.shared_blocks();
+        match self.sharing {
+            SharingPattern::Universal => {
+                let idx = self.pick_index(footprint);
+                self.layout.shared_block(idx)
+            }
+            SharingPattern::NearestNeighbor { degree } => {
+                self.grouped_shared_block(core, degree.max(2), footprint)
+            }
+            SharingPattern::ProducerConsumer => self.grouped_shared_block(core, 2, footprint),
+        }
+    }
+
+    /// Shared blocks are partitioned among groups of `degree` neighbouring
+    /// cores; a core only touches blocks belonging to its group.
+    fn grouped_shared_block(&mut self, core: CoreId, degree: usize, footprint: u64) -> BlockAddr {
+        let num_groups = self.num_cores.div_ceil(degree).max(1) as u64;
+        let group = (core.index() / degree) as u64;
+        let blocks_per_group = (footprint / num_groups).max(1);
+        let within = self.pick_index(blocks_per_group);
+        // Interleave groups across the region so every group sees a spread of sets.
+        let idx = within * num_groups + group;
+        self.layout.shared_block(idx % footprint)
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<MemoryAccess> {
+        Some(self.next_access())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use std::collections::{HashMap, HashSet};
+
+    fn trace(spec: &WorkloadSpec, n: usize, seed: u64) -> Vec<MemoryAccess> {
+        TraceGenerator::new(spec, seed).generate(n)
+    }
+
+    #[test]
+    fn class_mix_matches_spec_fractions() {
+        let spec = WorkloadSpec::oltp_db2();
+        let t = trace(&spec, 50_000, 1);
+        let instr = t.iter().filter(|a| a.class == AccessClass::Instruction).count() as f64;
+        let private = t.iter().filter(|a| a.class == AccessClass::PrivateData).count() as f64;
+        let shared = t.iter().filter(|a| a.class == AccessClass::SharedData).count() as f64;
+        let n = t.len() as f64;
+        assert!((instr / n - spec.instr_fraction).abs() < 0.02);
+        assert!((private / n - spec.private_fraction).abs() < 0.02);
+        assert!((shared / n - spec.shared_fraction).abs() < 0.02);
+    }
+
+    #[test]
+    fn ground_truth_classes_match_the_layout() {
+        let spec = WorkloadSpec::apache();
+        let gen = TraceGenerator::new(&spec, 7);
+        let layout = *gen.layout();
+        for a in trace(&spec, 5_000, 7) {
+            assert_eq!(layout.class_of(a.addr), Some(a.class), "layout and tag must agree");
+        }
+    }
+
+    #[test]
+    fn private_accesses_stay_in_the_owners_region() {
+        let spec = WorkloadSpec::dss_qry6();
+        let gen = TraceGenerator::new(&spec, 3);
+        let layout = *gen.layout();
+        for a in trace(&spec, 20_000, 3) {
+            if a.class == AccessClass::PrivateData {
+                assert_eq!(layout.private_owner(a.addr), Some(a.core));
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_accesses_are_fetches_and_shared_by_all_cores() {
+        let spec = WorkloadSpec::oltp_db2();
+        let t = trace(&spec, 50_000, 11);
+        let mut sharers: HashMap<u64, HashSet<usize>> = HashMap::new();
+        for a in &t {
+            if a.class == AccessClass::Instruction {
+                assert!(a.kind.is_instr_fetch());
+                sharers.entry(a.addr.block(64).block_number()).or_default().insert(a.core.index());
+            }
+        }
+        // Hot instruction blocks end up shared by (nearly) all 16 cores.
+        let max_sharers = sharers.values().map(HashSet::len).max().unwrap();
+        assert!(max_sharers >= 14, "hot instruction blocks should be near-universally shared");
+    }
+
+    #[test]
+    fn nearest_neighbor_sharing_limits_sharers_per_block() {
+        let spec = WorkloadSpec::em3d();
+        let t = trace(&spec, 100_000, 5);
+        let mut sharers: HashMap<u64, HashSet<usize>> = HashMap::new();
+        for a in &t {
+            if a.class == AccessClass::SharedData {
+                sharers.entry(a.addr.block(64).block_number()).or_default().insert(a.core.index());
+            }
+        }
+        let max_sharers = sharers.values().map(HashSet::len).max().unwrap();
+        assert!(
+            max_sharers <= 4,
+            "em3d shared blocks are shared by at most the group degree, got {max_sharers}"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_trace() {
+        let spec = WorkloadSpec::mix();
+        assert_eq!(trace(&spec, 1_000, 99), trace(&spec, 1_000, 99));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = WorkloadSpec::mix();
+        assert_ne!(trace(&spec, 1_000, 1), trace(&spec, 1_000, 2));
+    }
+
+    #[test]
+    fn cores_issue_round_robin() {
+        let spec = WorkloadSpec::oltp_db2();
+        let t = trace(&spec, 64, 0);
+        for (i, a) in t.iter().enumerate() {
+            assert_eq!(a.core.index(), i % 16);
+        }
+    }
+
+    #[test]
+    fn write_fractions_are_respected() {
+        let spec = WorkloadSpec::oltp_db2();
+        let t = trace(&spec, 80_000, 21);
+        let shared: Vec<_> = t.iter().filter(|a| a.class == AccessClass::SharedData).collect();
+        let writes = shared.iter().filter(|a| a.kind.is_write()).count() as f64;
+        assert!((writes / shared.len() as f64 - spec.shared_write_fraction).abs() < 0.03);
+        // Instruction fetches are never writes.
+        assert!(t
+            .iter()
+            .filter(|a| a.class == AccessClass::Instruction)
+            .all(|a| !a.kind.is_write()));
+    }
+
+    #[test]
+    fn iterator_interface_yields_accesses() {
+        let spec = WorkloadSpec::em3d();
+        let gen = TraceGenerator::new(&spec, 4);
+        let collected: Vec<_> = gen.take(100).collect();
+        assert_eq!(collected.len(), 100);
+    }
+}

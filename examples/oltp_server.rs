@@ -1,0 +1,61 @@
+//! Server-workload scenario: characterize an OLTP trace and compare all five
+//! LLC designs on it, reproducing one bar group of Figures 7 and 12.
+//!
+//! ```text
+//! cargo run --release --example oltp_server
+//! ```
+
+use rnuca_sim::report::{fmt3, fmt_pct};
+use rnuca_sim::{DesignComparison, ExperimentConfig, TextTable};
+use rnuca_workloads::{TraceCharacterization, TraceGenerator, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::oltp_db2();
+
+    // Characterize the reference stream (Figures 2-4 for this workload).
+    let mut gen = TraceGenerator::new(&spec, 7);
+    let trace = gen.generate(150_000);
+    let ch = TraceCharacterization::analyze(&trace, 64);
+    println!("{} L2 reference characterization ({} refs):", spec.name, trace.len());
+    println!(
+        "  class mix: instr {} / private {} / shared-RW {} / shared-RO {}",
+        fmt_pct(ch.breakdown.instructions),
+        fmt_pct(ch.breakdown.private_data),
+        fmt_pct(ch.breakdown.shared_read_write),
+        fmt_pct(ch.breakdown.shared_read_only),
+    );
+    println!(
+        "  instruction working set: 90% of fetches within {:.0} KB; shared data: 90% within {:.0} KB",
+        ch.instr_cdf.kb_at_fraction(0.9),
+        ch.shared_cdf.kb_at_fraction(0.9),
+    );
+    println!(
+        "  instruction reuse by same core before another core intervenes: {:.0}%",
+        ch.instr_reuse.reuse_fraction() * 100.0
+    );
+
+    // Compare the five designs.
+    let mut cfg = ExperimentConfig::full();
+    cfg.warmup_refs = 300_000;
+    cfg.measured_refs = 150_000;
+    cfg.asr_best_of = false;
+    println!("\nRunning the P/A/S/R/I design comparison (this takes a few seconds)...");
+    let results = DesignComparison::run_workload(&spec, &cfg);
+    let base = results.private_baseline().total_cpi();
+
+    let mut table = TextTable::new(vec!["design", "CPI", "CPI/private", "speedup", "off-chip rate"]);
+    for r in &results.results {
+        table.add_row(vec![
+            r.design.to_string(),
+            fmt3(r.total_cpi()),
+            fmt3(r.total_cpi() / base),
+            format!("{:+.1}%", (r.speedup_over(results.private_baseline()) - 1.0) * 100.0),
+            fmt_pct(r.run.off_chip_rate),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Workload bucket: {}",
+        if results.private_averse { "private-averse" } else { "shared-averse" }
+    );
+}

@@ -1,0 +1,23 @@
+//! Workspace facade for the R-NUCA reproduction.
+//!
+//! This crate re-exports the individual crates of the workspace so the
+//! examples and cross-crate integration tests can use a single dependency.
+//! Library users should depend directly on the crate they need:
+//!
+//! * [`rnuca`] — the placement policy (clusters, rotational interleaving).
+//! * [`rnuca_sim`] — the tiled-CMP simulator and experiment runner.
+//! * [`rnuca_workloads`] — synthetic workload models and trace characterization.
+//! * [`rnuca_types`], [`rnuca_noc`], [`rnuca_cache`], [`rnuca_coherence`],
+//!   [`rnuca_mem`], [`rnuca_os`] — the substrates.
+
+#![warn(missing_docs)]
+
+pub use rnuca;
+pub use rnuca_cache;
+pub use rnuca_coherence;
+pub use rnuca_mem;
+pub use rnuca_noc;
+pub use rnuca_os;
+pub use rnuca_sim;
+pub use rnuca_types;
+pub use rnuca_workloads;

@@ -1,0 +1,107 @@
+//! Integration tests of the OS classification layer driven by real workload traces.
+
+use proptest::prelude::*;
+use rnuca_os::{ClassificationEvent, OsClassifier, PageClass};
+use rnuca_types::access::AccessClass;
+use rnuca_types::addr::PageAddr;
+use rnuca_types::ids::CoreId;
+use rnuca_workloads::{TraceGenerator, WorkloadSpec};
+
+/// Drives the OS classifier with a generated OLTP trace and checks that pages
+/// converge to their ground-truth classes.
+#[test]
+fn classifier_converges_to_ground_truth_on_oltp() {
+    let spec = WorkloadSpec::oltp_db2();
+    let mut gen = TraceGenerator::new(&spec, 3);
+    let mut os = OsClassifier::new(spec.num_cores(), 512);
+    let layout = *gen.layout();
+    let trace = gen.generate(200_000);
+    for a in &trace {
+        let page = a.addr.page(8192);
+        os.access(page, a.core, a.kind.is_instr_fetch());
+    }
+    // After the trace, every touched page's classification matches its region.
+    let mut checked = 0;
+    for (page, info) in os.page_table().iter() {
+        let truth = layout.class_of_page(*page).expect("page comes from a known region");
+        let expected_any = match truth {
+            AccessClass::Instruction => info.class == PageClass::Instruction,
+            AccessClass::PrivateData => info.class == PageClass::Private,
+            // Cold shared pages touched by a single core so far may legitimately
+            // still be classified private; hot ones must have converged.
+            AccessClass::SharedData => {
+                info.class == PageClass::Shared || info.class == PageClass::Private
+            }
+        };
+        assert!(expected_any, "page {page} classified {:?} but ground truth is {truth}", info.class);
+        checked += 1;
+    }
+    assert!(checked > 100, "expected a substantial number of touched pages");
+    // The hot shared pages specifically must be shared by now.
+    let shared_pages = os
+        .page_table()
+        .iter()
+        .filter(|(p, _)| layout.class_of_page(**p) == Some(AccessClass::SharedData))
+        .count();
+    let converged = os
+        .page_table()
+        .iter()
+        .filter(|(p, i)| {
+            layout.class_of_page(**p) == Some(AccessClass::SharedData) && i.class == PageClass::Shared
+        })
+        .count();
+    assert!(
+        converged * 2 > shared_pages,
+        "most touched shared pages should have been re-classified ({converged}/{shared_pages})"
+    );
+}
+
+/// Private pages of a purely private workload must never be re-classified.
+#[test]
+fn private_workload_never_reclassifies_private_pages() {
+    let spec = WorkloadSpec::mix();
+    let mut gen = TraceGenerator::new(&spec, 11);
+    let mut os = OsClassifier::new(spec.num_cores(), 512);
+    let trace = gen.generate(100_000);
+    let mut reclassified_private = 0;
+    for a in &trace {
+        let page = a.addr.page(8192);
+        let out = os.access(page, a.core, a.kind.is_instr_fetch());
+        if a.class == AccessClass::PrivateData {
+            if let ClassificationEvent::Reclassified { .. } = out.event {
+                reclassified_private += 1;
+            }
+        }
+    }
+    assert_eq!(
+        reclassified_private, 0,
+        "ground-truth private pages are only ever touched by their owner"
+    );
+    assert_eq!(os.stats().owner_migrations, 0);
+}
+
+proptest! {
+    /// Random interleavings of accesses by two cores always end with the page
+    /// either private to a single accessor or shared — never poisoned, and the
+    /// classification is stable under repetition.
+    #[test]
+    fn classification_state_machine_is_stable(accessors in proptest::collection::vec(0usize..2, 1..40)) {
+        let mut os = OsClassifier::new(2, 64);
+        let page = PageAddr::from_page_number(99);
+        for &a in &accessors {
+            os.access(page, CoreId::new(a), false);
+        }
+        let info = *os.page_table().get(page).expect("page was touched");
+        prop_assert!(!info.poisoned, "no access sequence may leave a page poisoned");
+        let distinct: std::collections::HashSet<_> = accessors.iter().collect();
+        if distinct.len() == 1 {
+            prop_assert_eq!(info.class, PageClass::Private);
+        } else {
+            prop_assert_eq!(info.class, PageClass::Shared);
+        }
+        // Re-running the same final accessor does not change the class.
+        let last = *accessors.last().unwrap();
+        os.access(page, CoreId::new(last), false);
+        prop_assert_eq!(os.page_table().get(page).unwrap().class, info.class);
+    }
+}
