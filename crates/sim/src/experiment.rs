@@ -157,52 +157,51 @@ impl DesignComparison {
     /// Runs the full evaluation suite, one workload per thread.
     pub fn run_evaluation(cfg: &ExperimentConfig) -> DesignComparison {
         let specs = WorkloadSpec::evaluation_suite();
-        let mut workloads: Vec<Option<WorkloadResults>> = vec![None; specs.len()];
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for spec in &specs {
-                handles.push(scope.spawn(move |_| Self::run_workload(spec, cfg)));
-            }
-            for (slot, handle) in workloads.iter_mut().zip(handles) {
-                *slot = Some(handle.join().expect("simulation thread panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
-        DesignComparison { workloads: workloads.into_iter().map(Option::unwrap).collect() }
+        let workloads = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| scope.spawn(move || Self::run_workload(spec, cfg)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("simulation thread panicked"))
+                .collect()
+        });
+        DesignComparison { workloads }
     }
 
     /// Sweeps the R-NUCA instruction-cluster size over `sizes` for every
     /// workload (Figure 11). Returns, per workload, one result per size.
     pub fn run_cluster_sweep(cfg: &ExperimentConfig, sizes: &[usize]) -> Vec<(String, Vec<(usize, MeasuredRun)>)> {
         let specs = WorkloadSpec::evaluation_suite();
-        let mut out = Vec::with_capacity(specs.len());
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for spec in &specs {
-                handles.push(scope.spawn(move |_| {
-                    let max = spec.num_cores();
-                    let rows: Vec<(usize, MeasuredRun)> = sizes
-                        .iter()
-                        .copied()
-                        .filter(|&s| s <= max)
-                        .map(|s| {
-                            let r = Self::run_single(
-                                spec,
-                                LlcDesign::RNuca { instr_cluster_size: s },
-                                cfg,
-                            );
-                            (s, r.run)
-                        })
-                        .collect();
-                    (spec.name.clone(), rows)
-                }));
-            }
-            for handle in handles {
-                out.push(handle.join().expect("simulation thread panicked"));
-            }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| {
+                    scope.spawn(move || {
+                        let max = spec.num_cores();
+                        let rows: Vec<(usize, MeasuredRun)> = sizes
+                            .iter()
+                            .copied()
+                            .filter(|&s| s <= max)
+                            .map(|s| {
+                                let r = Self::run_single(
+                                    spec,
+                                    LlcDesign::RNuca { instr_cluster_size: s },
+                                    cfg,
+                                );
+                                (s, r.run)
+                            })
+                            .collect();
+                        (spec.name.clone(), rows)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("simulation thread panicked"))
+                .collect()
         })
-        .expect("crossbeam scope failed");
-        out
     }
 
     /// The results for one workload by name.

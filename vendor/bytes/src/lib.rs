@@ -1,0 +1,223 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Built for a network-isolated container where the real crate cannot be
+//! fetched. Provides [`Bytes`], [`BytesMut`], and the subset of the
+//! [`Buf`]/[`BufMut`] traits the trace codec in `rnuca-workloads` uses.
+//! Integers are big-endian on the wire, matching the real crate's
+//! `get_u32`/`put_u32` family. The cheap-clone `Arc` machinery of the real
+//! `Bytes` is replaced by plain `Vec` storage: `slice` copies instead of
+//! sharing, which is fine at trace-file sizes.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Read side: a cursor over a byte buffer, mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skips `cnt` bytes. Panics if fewer remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`, advancing the cursor.
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian `u32`, advancing the cursor.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`, advancing the cursor.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+}
+
+/// Write side: an append-only byte sink, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable view over a byte buffer.
+///
+/// As in the real crate, [`Buf::advance`] shrinks the view: `len`, `slice`,
+/// and `as_ref` are all relative to the bytes not yet consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: data.to_vec(), start: 0 }
+    }
+
+    /// Length of the current view.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// True when the view holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out a sub-range of the view as a fresh buffer (the real crate
+    /// shares storage here; this stand-in copies).
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        Bytes { data: self.as_ref()[range].to_vec(), start: 0 }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, start: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of Bytes");
+        self.start += cnt;
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, start: 0 }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(15);
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 15);
+        assert_eq!(b.remaining(), 15);
+        assert_eq!(b.get_u8(), 0xAB);
+        // advance() shrinks the view, as in the real crate
+        assert_eq!(b.len(), 14);
+        assert_eq!(b.as_ref().len(), 14);
+        assert_eq!(b.get_u16(), 0x1234);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_copies_subrange() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn big_endian_wire_format() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x0102_0304);
+        assert_eq!(buf.freeze().as_ref(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from_static(&[1, 2]);
+        b.advance(3);
+    }
+}

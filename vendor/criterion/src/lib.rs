@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This crate keeps the same bench-author surface the workspace
+//! uses — [`Criterion`], [`BenchmarkId`], benchmark groups, `Bencher::iter`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — but replaces
+//! the statistical machinery with a simple bounded wall-clock loop: each
+//! benchmark warms up once, then runs until ~200 ms or 50 iterations have
+//! elapsed, and reports the mean time per iteration. There are no HTML
+//! reports, no outlier analysis, and CLI arguments from `cargo bench` are
+//! ignored.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying both a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; its [`iter`](Bencher::iter) method times
+/// the routine.
+pub struct Bencher {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then a bounded measurement loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std_black_box(routine());
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters < 50 && started.elapsed() < budget {
+            std_black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.mean = started.elapsed() / self.iters as u32;
+    }
+}
+
+fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { mean: Duration::ZERO, iters: 0 };
+    f(&mut bencher);
+    println!(
+        "bench: {name:<50} {:>12.3} ms/iter ({} iters)",
+        bencher.mean.as_secs_f64() * 1e3,
+        bencher.iters,
+    );
+}
+
+/// A named set of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's loop is bounded by
+    /// wall-clock time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Benchmarks a routine that needs no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Ends the group (a no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Benchmarks a standalone routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self.benchmarks_run += 1;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Prints the closing tally; called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        println!("bench: {} benchmark(s) complete", self.benchmarks_run);
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench target (`harness = false`), mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This crate keeps the same test-author surface the workspace uses
+//! — the [`proptest!`] macro, range/tuple/`collection::vec`/[`strategy::any`]
+//! strategies, and the `prop_assert*` macros — on top of a small
+//! deterministic runner. Differences from real proptest:
+//!
+//! * no shrinking: a failing case reports the generated inputs via the
+//!   panic message of the underlying `assert!`, but is not minimized;
+//! * cases are generated from a fixed per-test seed (hash of the test
+//!   name), so runs are fully reproducible without a persistence file;
+//! * the case count is 64 by default, overridable with the
+//!   `PROPTEST_CASES` environment variable.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The deterministic runner behind the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases each property runs (64, or `PROPTEST_CASES`).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    }
+
+    /// Builds the per-test generator from the test's name, so every test
+    /// sees a stable but distinct stream.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body across generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __proptest_rng = $crate::test_runner::rng_for(stringify!($name));
+            for __proptest_case in 0..$crate::test_runner::cases() {
+                let _ = __proptest_case;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking, so it simply
+/// panics with the provided message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

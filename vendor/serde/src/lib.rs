@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no network access, so the real
+//! serde cannot be fetched. No code in the workspace performs actual
+//! serialization (there is no `serde_json`-style consumer); the
+//! `#[derive(Serialize, Deserialize)]` annotations document intent and keep
+//! the types ready for the real dependency. This crate provides the two
+//! marker traits and re-exports the no-op derives under the same names, so
+//! `use serde::{Deserialize, Serialize};` imports both the trait and the
+//! derive macro exactly as with real serde.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace is built in a network-isolated container, so the real
+//! `serde`/`serde_derive` crates cannot be fetched from crates.io. Nothing in
+//! the workspace actually serializes through serde (there is no `serde_json`
+//! or similar consumer); the derives exist so that types are *ready* to be
+//! serialized once the real dependency can be swapped in. The stand-in
+//! therefore accepts the same derive syntax and expands to nothing.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+///
+/// Accepts the `#[serde(...)]` helper attribute for forward compatibility.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+///
+/// Accepts the `#[serde(...)]` helper attribute for forward compatibility.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
