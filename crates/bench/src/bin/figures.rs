@@ -4,15 +4,23 @@
 //! cargo run --release -p rnuca-bench --bin figures -- all
 //! cargo run --release -p rnuca-bench --bin figures -- fig7 fig12
 //! cargo run --release -p rnuca-bench --bin figures -- --quick all
+//! cargo run --release -p rnuca-bench --bin figures -- --quick --workers=4 sweep
 //! ```
 //!
-//! Supported targets: `table1`, `fig2`..`fig12`, `accuracy`, `all`.
-//! `--quick` shrinks warm-up and measurement windows for a fast smoke run.
+//! Supported targets: `table1`, `fig2`..`fig12`, `accuracy`, `all`, `sweep`.
+//! `--quick` shrinks warm-up and measurement windows for a fast run;
+//! `--smoke` shrinks them further for CI smoke tests. `--workers=N` bounds
+//! the experiment engine's worker pool (results are identical for every N).
+//!
+//! `sweep` runs the scenario matrix — core counts 16/32/64, L2 slice
+//! capacities 512 KB/1 MB/2 MB, R-NUCA instruction clusters 2/4/8 — and
+//! prints JSON to stdout (nothing else, so it can be piped into a file).
+//! `sweep` is intentionally not part of `all`, which emits text tables.
 
 use rnuca_bench::characterize_workload;
 use rnuca_os::rid_assignment;
 use rnuca_sim::report::{fmt3, fmt_pct};
-use rnuca_sim::{DesignComparison, ExperimentConfig, TextTable};
+use rnuca_sim::{DesignComparison, ExperimentConfig, ExperimentEngine, TextTable};
 use rnuca_types::access::AccessClass;
 use rnuca_types::config::SystemConfig;
 use rnuca_types::ids::TileId;
@@ -20,22 +28,47 @@ use rnuca_workloads::WorkloadSpec;
 
 const CHARACTERIZATION_REFS: usize = 400_000;
 const CHARACTERIZATION_REFS_QUICK: usize = 60_000;
+const CHARACTERIZATION_REFS_SMOKE: usize = 10_000;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let engine = match args.iter().find_map(|a| a.strip_prefix("--workers=")) {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n > 0 => ExperimentEngine::with_workers(n),
+            _ => {
+                eprintln!("--workers must be a positive integer, got {n}");
+                std::process::exit(2);
+            }
+        },
+        None => ExperimentEngine::new(),
+    };
     let targets: Vec<String> =
         args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     let targets = if targets.is_empty() { vec!["all".to_string()] } else { targets };
 
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
-    let char_refs = if quick { CHARACTERIZATION_REFS_QUICK } else { CHARACTERIZATION_REFS };
+    let cfg = if smoke {
+        ExperimentConfig::smoke()
+    } else if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
+    let char_refs = if smoke {
+        CHARACTERIZATION_REFS_SMOKE
+    } else if quick {
+        CHARACTERIZATION_REFS_QUICK
+    } else {
+        CHARACTERIZATION_REFS
+    };
 
     // The evaluation (Figures 7-12) shares one run of every workload x design.
     let needs_eval = targets.iter().any(|t| {
         t == "all" || matches!(t.as_str(), "fig7" | "fig8" | "fig9" | "fig10" | "fig12" | "accuracy")
     });
-    let comparison = if needs_eval { Some(DesignComparison::run_evaluation(&cfg)) } else { None };
+    let comparison =
+        if needs_eval { Some(DesignComparison::run_evaluation_with(&cfg, &engine)) } else { None };
 
     for target in &targets {
         match target.as_str() {
@@ -49,9 +82,10 @@ fn main() {
             "fig8" => fig8(comparison.as_ref().unwrap()),
             "fig9" => fig9(comparison.as_ref().unwrap()),
             "fig10" => fig10(comparison.as_ref().unwrap()),
-            "fig11" => fig11(&cfg),
+            "fig11" => fig11(&cfg, &engine),
             "fig12" => fig12(comparison.as_ref().unwrap()),
             "accuracy" => accuracy(comparison.as_ref().unwrap()),
+            "sweep" => sweep(cfg, &engine),
             "all" => {
                 table1();
                 fig2(char_refs);
@@ -65,12 +99,21 @@ fn main() {
                 fig8(c);
                 fig9(c);
                 fig10(c);
-                fig11(&cfg);
+                fig11(&cfg, &engine);
                 fig12(c);
             }
             other => eprintln!("unknown target: {other}"),
         }
     }
+}
+
+/// The scenario-matrix sweep: every workload at 16/32/64 cores, three slice
+/// capacities, under the shared design and R-NUCA at three cluster sizes.
+/// Prints the result matrix as JSON on stdout.
+fn sweep(cfg: ExperimentConfig, engine: &ExperimentEngine) {
+    let matrix = rnuca_bench::default_sweep_matrix(cfg);
+    let sweep = matrix.run_with(engine).expect("the default sweep axes are valid");
+    print!("{}", sweep.to_json());
 }
 
 fn heading(title: &str) {
@@ -278,9 +321,9 @@ fn per_class_l2_table(c: &DesignComparison, class: AccessClass) {
     println!("{table}");
 }
 
-fn fig11(cfg: &ExperimentConfig) {
+fn fig11(cfg: &ExperimentConfig, engine: &ExperimentEngine) {
     heading("Figure 11: CPI vs R-NUCA instruction-cluster size, normalised to size-1 clusters");
-    let sweep = DesignComparison::run_cluster_sweep(cfg, &[1, 2, 4, 8, 16]);
+    let sweep = DesignComparison::run_cluster_sweep_with(cfg, &[1, 2, 4, 8, 16], engine);
     let mut table = TextTable::new(vec![
         "workload", "size", "total/size-1", "L2 instr CPI", "off-chip CPI",
     ]);

@@ -7,7 +7,7 @@
 #![warn(missing_docs)]
 
 use rnuca_sim::report::{fmt3, fmt_pct};
-use rnuca_sim::{DesignComparison, ExperimentConfig, TextTable};
+use rnuca_sim::{DesignComparison, ExperimentConfig, ScenarioMatrix, TextTable};
 use rnuca_workloads::{TraceCharacterization, TraceGenerator, WorkloadSpec};
 
 /// Generates a trace of `n` references for a workload and characterizes it.
@@ -53,6 +53,17 @@ pub fn run_evaluation(cfg: &ExperimentConfig) -> DesignComparison {
     DesignComparison::run_evaluation(cfg)
 }
 
+/// The scenario matrix behind the `figures sweep` subcommand: the full
+/// workload suite at 16/32/64 cores, 512 KB/1 MB/2 MB L2 slices, under the
+/// shared design and R-NUCA with size-2/4/8 instruction clusters.
+pub fn default_sweep_matrix(cfg: ExperimentConfig) -> ScenarioMatrix {
+    let mut matrix = ScenarioMatrix::paper_evaluation(cfg);
+    matrix.core_counts = vec![16, 32, 64];
+    matrix.slice_capacities_kb = vec![512, 1024, 2048];
+    matrix.cluster_sizes = vec![2, 4, 8];
+    matrix
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +79,13 @@ mod tests {
     fn figure3_table_has_all_workloads() {
         let t = figure3_table(2_000, 1);
         assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn default_sweep_matrix_flattens() {
+        let matrix = default_sweep_matrix(ExperimentConfig::smoke());
+        let jobs = matrix.jobs().expect("default axes are valid");
+        // 8 workloads x 3 core counts x 3 capacities x (shared + 3 clusters).
+        assert_eq!(jobs.len(), 8 * 3 * 3 * 4);
     }
 }

@@ -1,0 +1,141 @@
+//! The experiment engine: job-level parallel execution with deterministic results.
+//!
+//! Every evaluation in this crate — the P/A/S/R/I design comparison, the ASR
+//! best-of-six selection, the Figure 11 cluster sweep, and the scenario
+//! matrices of [`crate::scenario`] — reduces to the same shape: a flat list
+//! of independent simulation jobs whose results must be assembled in a fixed
+//! order. [`ExperimentEngine`] runs such a list on a bounded worker pool.
+//! Workers claim jobs from a shared counter (so a long ASR run cannot
+//! serialise a whole workload behind it, the load imbalance the per-workload
+//! threading suffered from) and write each result into the slot indexed by
+//! its job, so the output is ordered by job index and **identical for every
+//! worker-pool size**.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A bounded worker pool executing job lists with deterministic assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentEngine {
+    workers: usize,
+}
+
+impl ExperimentEngine {
+    /// An engine sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        ExperimentEngine { workers: default_workers() }
+    }
+
+    /// An engine with an explicit worker count (clamped to at least one).
+    ///
+    /// Results do not depend on the worker count; use this to bound CPU and
+    /// memory pressure, or `with_workers(1)` for fully serial debugging runs.
+    pub fn with_workers(workers: usize) -> Self {
+        ExperimentEngine { workers: workers.max(1) }
+    }
+
+    /// The number of workers this engine runs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `run` over every job, returning results in job order.
+    ///
+    /// `run` receives the job index and the job. It must be a pure function
+    /// of both for the engine's determinism guarantee to hold — every worker
+    /// count then yields the identical result vector.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job after all workers have stopped.
+    pub fn run<J, T, F>(&self, jobs: &[J], run: F) -> Vec<T>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(usize, &J) -> T + Sync,
+    {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(jobs.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let result = run(i, &jobs[i]);
+                    *slots[i].lock().expect("result slot lock poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot lock poisoned")
+                    .expect("every claimed job stores a result")
+            })
+            .collect()
+    }
+}
+
+impl Default for ExperimentEngine {
+    fn default() -> Self {
+        ExperimentEngine::new()
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_ordered_by_job_index() {
+        let jobs: Vec<usize> = (0..100).collect();
+        let results = ExperimentEngine::with_workers(7).run(&jobs, |i, &j| {
+            assert_eq!(i, j);
+            j * 3
+        });
+        assert_eq!(results, (0..100).map(|j| j * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn output_is_identical_for_every_worker_count() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let reference = ExperimentEngine::with_workers(1).run(&jobs, |_, &j| j * j + 1);
+        for workers in [2, 3, 8, 64] {
+            let out = ExperimentEngine::with_workers(workers).run(&jobs, |_, &j| j * j + 1);
+            assert_eq!(out, reference, "worker count {workers} changed the output");
+        }
+    }
+
+    #[test]
+    fn empty_job_list_yields_empty_results() {
+        let jobs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = ExperimentEngine::new().run(&jobs, |_, &j| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs = vec![10, 20];
+        let out = ExperimentEngine::with_workers(16).run(&jobs, |_, &j| j + 1);
+        assert_eq!(out, vec![11, 21]);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        assert_eq!(ExperimentEngine::with_workers(0).workers(), 1);
+        assert!(ExperimentEngine::new().workers() >= 1);
+        assert_eq!(ExperimentEngine::default(), ExperimentEngine::new());
+    }
+}

@@ -42,14 +42,18 @@
 
 pub mod cpi;
 pub mod design;
+pub mod engine;
 pub mod experiment;
 pub mod report;
+pub mod scenario;
 pub mod simulator;
 pub mod tile;
 
 pub use cpi::{CpiBreakdown, CpiComponent, DetailedCpi};
 pub use design::{AsrPolicy, LlcDesign};
+pub use engine::ExperimentEngine;
 pub use experiment::{DesignComparison, ExperimentConfig, RunResult, WorkloadResults};
 pub use report::TextTable;
+pub use scenario::{ScenarioJob, ScenarioMatrix, ScenarioResult, ScenarioSweep};
 pub use simulator::{CmpSimulator, MeasuredRun};
 pub use tile::{BlockMeta, Tile};

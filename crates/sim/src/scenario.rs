@@ -1,0 +1,396 @@
+//! Declarative scenario matrices: one struct, every `(workload, design,
+//! config-point)` combination.
+//!
+//! The paper's figures each hand-rolled their own loop (per-workload designs
+//! for Figures 7-10/12, cluster sizes for Figure 11). A [`ScenarioMatrix`]
+//! replaces those loops: declare the workloads, the designs, and the sweep
+//! axes — core counts, L2 slice capacities, R-NUCA instruction-cluster sizes
+//! — and the matrix flattens itself into jobs for the
+//! [`ExperimentEngine`]. Results come back
+//! in a deterministic order (and are identical for every worker-pool size),
+//! ready for tables or the JSON emitted by [`ScenarioSweep::to_json`].
+//!
+//! # Example
+//!
+//! ```
+//! use rnuca_sim::{ExperimentConfig, LlcDesign, ScenarioMatrix};
+//! use rnuca_workloads::WorkloadSpec;
+//!
+//! let mut matrix = ScenarioMatrix::new(ExperimentConfig::smoke());
+//! matrix.workloads = vec![WorkloadSpec::mix()];
+//! matrix.designs = vec![LlcDesign::Shared, LlcDesign::rnuca_default()];
+//! matrix.core_counts = vec![16, 32];
+//! matrix.cluster_sizes = vec![2, 4];
+//! // 1 workload x 2 core counts x (shared + R-NUCA at 2 cluster sizes).
+//! assert_eq!(matrix.jobs().unwrap().len(), 2 * 3);
+//! ```
+
+use crate::design::LlcDesign;
+use crate::engine::ExperimentEngine;
+use crate::experiment::{DesignComparison, ExperimentConfig};
+use crate::simulator::MeasuredRun;
+use rnuca_types::config::ConfigPoint;
+use rnuca_types::ConfigError;
+use rnuca_workloads::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// A declarative sweep over workloads, designs, and configuration axes.
+///
+/// Empty axis vectors mean "use each workload's baseline value", so the
+/// default matrix reduces to a plain design comparison. `cluster_sizes`
+/// applies only to R-NUCA designs (other designs have no cluster parameter).
+/// Sizes exceeding a point's core count are skipped for that point
+/// (mirroring [`DesignComparison::run_cluster_sweep`]); sizes that are not
+/// powers of two are skipped too, rather than panicking inside a worker the
+/// way the rotational map's constructor would.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMatrix {
+    /// Workload profiles to evaluate.
+    pub workloads: Vec<WorkloadSpec>,
+    /// LLC designs to evaluate per workload and config point.
+    pub designs: Vec<LlcDesign>,
+    /// Core counts to sweep (empty: each workload's preset count).
+    pub core_counts: Vec<usize>,
+    /// L2 slice capacities in KB to sweep (empty: each preset's capacity).
+    pub slice_capacities_kb: Vec<usize>,
+    /// R-NUCA instruction-cluster sizes to sweep (empty: the design's own).
+    pub cluster_sizes: Vec<usize>,
+    /// Run lengths and seed shared by every job.
+    pub cfg: ExperimentConfig,
+}
+
+/// One flattened job of a [`ScenarioMatrix`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioJob {
+    /// The workload, already pinned to the job's system configuration.
+    pub workload: WorkloadSpec,
+    /// The design, already parameterised with the job's cluster size.
+    pub design: LlcDesign,
+    /// The overrides that produced this job (for labelling results).
+    pub point: ConfigPoint,
+}
+
+/// The outcome of one scenario job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Workload name.
+    pub workload: String,
+    /// Design simulated.
+    pub design: LlcDesign,
+    /// The overrides that produced this job.
+    pub point: ConfigPoint,
+    /// Resolved core count the job ran with.
+    pub cores: usize,
+    /// Resolved per-tile L2 slice capacity in KB.
+    pub slice_kb: usize,
+    /// Measured CPI detail and rates.
+    pub run: MeasuredRun,
+}
+
+/// All results of one matrix run, in flattened job order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSweep {
+    /// The run lengths and seed the sweep used.
+    pub cfg: ExperimentConfig,
+    /// One result per job, ordered by job index.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl ScenarioMatrix {
+    /// An empty matrix (no workloads, no designs) with the given run config.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        ScenarioMatrix {
+            workloads: Vec::new(),
+            designs: Vec::new(),
+            core_counts: Vec::new(),
+            slice_capacities_kb: Vec::new(),
+            cluster_sizes: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The paper's evaluation as a matrix: the full workload suite under the
+    /// shared and R-NUCA designs at their baseline configurations. Callers
+    /// add sweep axes on top.
+    pub fn paper_evaluation(cfg: ExperimentConfig) -> Self {
+        ScenarioMatrix {
+            workloads: WorkloadSpec::evaluation_suite(),
+            designs: vec![LlcDesign::Shared, LlcDesign::rnuca_default()],
+            ..Self::new(cfg)
+        }
+    }
+
+    /// Flattens the matrix into its job list.
+    ///
+    /// Job order is deterministic: workloads, then core counts, then slice
+    /// capacities, then designs (R-NUCA designs expanding over cluster
+    /// sizes), in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an axis value produces an invalid system
+    /// configuration for some workload (e.g. a non-power-of-two core count).
+    pub fn jobs(&self) -> Result<Vec<ScenarioJob>, ConfigError> {
+        let option_axis = |axis: &[usize]| -> Vec<Option<usize>> {
+            if axis.is_empty() {
+                vec![None]
+            } else {
+                axis.iter().copied().map(Some).collect()
+            }
+        };
+        let cores_axis = option_axis(&self.core_counts);
+        let caps_axis = option_axis(&self.slice_capacities_kb);
+        let clusters_axis = option_axis(&self.cluster_sizes);
+
+        let mut jobs = Vec::new();
+        for spec in &self.workloads {
+            for &cores in &cores_axis {
+                for &cap_kb in &caps_axis {
+                    let system_point = ConfigPoint {
+                        num_cores: cores,
+                        slice_capacity_kb: cap_kb,
+                        instr_cluster_size: None,
+                    };
+                    let workload = spec.at_config_point(&system_point)?;
+                    let num_cores = workload.num_cores();
+                    for &design in &self.designs {
+                        match design {
+                            LlcDesign::RNuca { instr_cluster_size } => {
+                                for &cluster in &clusters_axis {
+                                    let size = cluster.unwrap_or(instr_cluster_size);
+                                    if !size.is_power_of_two() || size > num_cores {
+                                        continue;
+                                    }
+                                    jobs.push(ScenarioJob {
+                                        workload: workload.clone(),
+                                        design: LlcDesign::RNuca { instr_cluster_size: size },
+                                        point: ConfigPoint {
+                                            instr_cluster_size: Some(size),
+                                            ..system_point
+                                        },
+                                    });
+                                }
+                            }
+                            _ => jobs.push(ScenarioJob {
+                                workload: workload.clone(),
+                                design,
+                                point: system_point,
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// Runs the matrix on a default-sized engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::jobs`] errors.
+    pub fn run(&self) -> Result<ScenarioSweep, ConfigError> {
+        self.run_with(&ExperimentEngine::new())
+    }
+
+    /// Runs the matrix on an explicit engine. The result vector is ordered
+    /// by job index and identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::jobs`] errors.
+    pub fn run_with(&self, engine: &ExperimentEngine) -> Result<ScenarioSweep, ConfigError> {
+        let jobs = self.jobs()?;
+        let results = engine.run(&jobs, |_, job| {
+            let r = DesignComparison::run_single(&job.workload, job.design, &self.cfg);
+            let system = job.workload.system_config();
+            ScenarioResult {
+                workload: job.workload.name.clone(),
+                design: job.design,
+                point: job.point,
+                cores: system.num_cores,
+                slice_kb: system.l2_slice.geometry.capacity_bytes / 1024,
+                run: r.run,
+            }
+        });
+        Ok(ScenarioSweep { cfg: self.cfg, results })
+    }
+}
+
+impl ScenarioSweep {
+    /// Serialises the sweep as a JSON document.
+    ///
+    /// Emitted by hand (the workspace vendors no JSON library) with a
+    /// deterministic field order and Rust's shortest-roundtrip float
+    /// formatting, so equal sweeps produce byte-identical documents — the
+    /// property the worker-count determinism test pins down.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.results.len() * 256);
+        out.push_str("{\n  \"config\": {");
+        out.push_str(&format!(
+            "\"warmup_refs\": {}, \"measured_refs\": {}, \"seed\": {}, \"asr_best_of\": {}",
+            self.cfg.warmup_refs, self.cfg.measured_refs, self.cfg.seed, self.cfg.asr_best_of
+        ));
+        out.push_str("},\n  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let cluster = match r.design {
+                LlcDesign::RNuca { instr_cluster_size } => instr_cluster_size.to_string(),
+                _ => "null".to_string(),
+            };
+            let b = &r.run.cpi.breakdown;
+            out.push_str(&format!(
+                "    {{\"workload\": {}, \"design\": {}, \"letter\": \"{}\", \
+                 \"cores\": {}, \"slice_kb\": {}, \"cluster\": {}, \
+                 \"total_cpi\": {}, \"cpi\": {{\"busy\": {}, \"l1_to_l1\": {}, \"l2\": {}, \
+                 \"off_chip\": {}, \"other\": {}, \"reclassification\": {}}}, \
+                 \"off_chip_rate\": {}, \"l1_to_l1_rate\": {}}}",
+                json_string(&r.workload),
+                json_string(&r.design.to_string()),
+                r.design.letter(),
+                r.cores,
+                r.slice_kb,
+                cluster,
+                r.run.total_cpi(),
+                b.busy,
+                b.l1_to_l1,
+                b.l2,
+                b.off_chip,
+                b.other,
+                b.reclassification,
+                r.run.off_chip_rate,
+                r.run.l1_to_l1_rate,
+            ));
+            out.push_str(if i + 1 < self.results.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The results for one workload, in job order.
+    pub fn workload(&self, name: &str) -> Vec<&ScenarioResult> {
+        self.results.iter().filter(|r| r.workload == name).collect()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.warmup_refs = 1_500;
+        cfg.measured_refs = 1_000;
+        let mut m = ScenarioMatrix::new(cfg);
+        m.workloads = vec![WorkloadSpec::oltp_db2()];
+        m.designs = vec![LlcDesign::Shared, LlcDesign::rnuca_default()];
+        m
+    }
+
+    #[test]
+    fn empty_axes_reduce_to_the_baseline_comparison() {
+        let m = tiny_matrix();
+        let jobs = m.jobs().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert!(jobs.iter().all(|j| j.workload.num_cores() == 16));
+        assert!(jobs[0].point.is_baseline());
+        // The R-NUCA job's point records the design's own cluster size.
+        assert_eq!(jobs[1].point.instr_cluster_size, Some(4));
+    }
+
+    #[test]
+    fn axes_multiply_and_oversized_clusters_are_skipped() {
+        let mut m = tiny_matrix();
+        m.workloads = vec![WorkloadSpec::mix()]; // 8-core preset
+        m.core_counts = vec![8, 16];
+        m.slice_capacities_kb = vec![512, 1024];
+        m.cluster_sizes = vec![4, 16]; // 16 > 8 cores: skipped at 8 cores
+        let jobs = m.jobs().unwrap();
+        // Per (cores, cap): shared + R-NUCA clusters. At 8 cores: 1 + 1; at
+        // 16 cores: 1 + 2.
+        assert_eq!(jobs.len(), 2 * (2 + 3));
+        for job in &jobs {
+            if let LlcDesign::RNuca { instr_cluster_size } = job.design {
+                assert!(instr_cluster_size <= job.workload.num_cores());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_axis_values_error_out() {
+        let mut m = tiny_matrix();
+        m.core_counts = vec![24];
+        assert!(m.jobs().is_err());
+        assert!(m.run().is_err());
+    }
+
+    #[test]
+    fn sweep_json_is_identical_across_worker_counts() {
+        // Acceptance criterion: scenario output is byte-identical no matter
+        // how many workers execute the matrix.
+        let mut m = tiny_matrix();
+        m.core_counts = vec![16, 32];
+        m.cluster_sizes = vec![2, 4];
+        let serial = m.run_with(&ExperimentEngine::with_workers(1)).unwrap();
+        let pooled = m.run_with(&ExperimentEngine::with_workers(5)).unwrap();
+        assert_eq!(serial, pooled);
+        assert_eq!(serial.to_json(), pooled.to_json());
+        assert_eq!(serial.results.len(), 2 * 3);
+    }
+
+    #[test]
+    fn results_record_resolved_configuration() {
+        let mut m = tiny_matrix();
+        m.core_counts = vec![32];
+        m.slice_capacities_kb = vec![512];
+        let sweep = m.run().unwrap();
+        assert!(!sweep.results.is_empty());
+        for r in &sweep.results {
+            assert_eq!(r.cores, 32);
+            assert_eq!(r.slice_kb, 512);
+            assert!(r.run.total_cpi() > 0.0);
+        }
+        assert_eq!(sweep.workload("OLTP DB2").len(), sweep.results.len());
+        assert!(sweep.workload("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn json_has_the_documented_shape() {
+        let mut m = tiny_matrix();
+        m.designs = vec![LlcDesign::rnuca_default()];
+        let sweep = m.run().unwrap();
+        let json = sweep.to_json();
+        assert!(json.starts_with("{\n  \"config\""));
+        assert!(json.contains("\"workload\": \"OLTP DB2\""));
+        assert!(json.contains("\"letter\": \"R\""));
+        assert!(json.contains("\"cluster\": 4"));
+        assert!(json.contains("\"total_cpi\": "));
+        assert!(json.trim_end().ends_with('}'));
+        // Shared designs carry a null cluster.
+        let mut m2 = tiny_matrix();
+        m2.designs = vec![LlcDesign::Shared];
+        assert!(m2.run().unwrap().to_json().contains("\"cluster\": null"));
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+}

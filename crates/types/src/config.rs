@@ -219,6 +219,55 @@ impl SystemConfig {
         self.num_cores
     }
 
+    /// Returns a copy of this configuration scaled to `num_cores` cores.
+    ///
+    /// The torus is re-shaped to the squarest `width x height` factorisation
+    /// (16 → 4×4, 32 → 8×4, 64 → 8×8) so hop counts grow the way the paper's
+    /// scaling argument assumes. All per-tile parameters are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `num_cores` is zero or not a power of two (the
+    /// rotational-interleaving machinery requires power-of-two tile counts).
+    pub fn with_core_count(mut self, num_cores: usize) -> Result<Self, ConfigError> {
+        if num_cores == 0 || !num_cores.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "core count must be a non-zero power of two, got {num_cores}"
+            )));
+        }
+        let height = 1usize << (num_cores.trailing_zeros() / 2);
+        self.num_cores = num_cores;
+        self.torus.width = num_cores / height;
+        self.torus.height = height;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Returns a copy of this configuration with `capacity_bytes` L2 slices.
+    ///
+    /// The block size is preserved. The associativity starts from the current
+    /// value and is reduced (deterministically) until the geometry is
+    /// realizable — e.g. shrinking the desktop preset's 12-way 3 MB slice to
+    /// 512 KB settles on 8 ways so the set count stays a power of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no associativity in `1..=current` yields a valid
+    /// geometry for the requested capacity.
+    pub fn with_slice_capacity(mut self, capacity_bytes: usize) -> Result<Self, ConfigError> {
+        let block = self.l2_slice.geometry.block_bytes;
+        let geometry = (1..=self.l2_slice.geometry.ways)
+            .rev()
+            .find_map(|ways| CacheGeometry::new(capacity_bytes, ways, block).ok())
+            .ok_or_else(|| {
+                ConfigError::new(format!(
+                    "no valid L2 slice geometry for {capacity_bytes} bytes with {block}-byte blocks"
+                ))
+            })?;
+        self.l2_slice.geometry = geometry;
+        Ok(self)
+    }
+
     /// Number of memory controllers in the system.
     pub fn num_mem_controllers(&self) -> usize {
         self.num_cores.div_ceil(self.memory.cores_per_controller)
@@ -264,6 +313,55 @@ impl SystemConfig {
 impl Default for SystemConfig {
     fn default() -> Self {
         SystemConfig::server_16()
+    }
+}
+
+/// One point of a scenario sweep: a set of overrides applied on top of a
+/// workload's baseline [`SystemConfig`].
+///
+/// `None` fields keep the baseline value, so the all-`None` point is the
+/// baseline itself. The first two overrides act on the system configuration
+/// via [`ConfigPoint::apply`]; `instr_cluster_size` is carried along for the
+/// simulation layer, which realises it by parameterising the R-NUCA design
+/// rather than the system configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConfigPoint {
+    /// Override for the number of cores (and tiles) on the chip.
+    pub num_cores: Option<usize>,
+    /// Override for the per-tile L2 slice capacity, in KB.
+    pub slice_capacity_kb: Option<usize>,
+    /// Override for the R-NUCA instruction-cluster size (consumed by the
+    /// simulation layer; ignored by [`ConfigPoint::apply`]).
+    pub instr_cluster_size: Option<usize>,
+}
+
+impl ConfigPoint {
+    /// The baseline point: no overrides.
+    pub fn baseline() -> Self {
+        ConfigPoint::default()
+    }
+
+    /// Whether this point overrides nothing.
+    pub fn is_baseline(&self) -> bool {
+        *self == ConfigPoint::default()
+    }
+
+    /// Applies the system-level overrides to `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an override produces an invalid configuration
+    /// (non-power-of-two core count, unrealizable slice geometry).
+    pub fn apply(&self, base: &SystemConfig) -> Result<SystemConfig, ConfigError> {
+        let mut cfg = *base;
+        if let Some(n) = self.num_cores {
+            cfg = cfg.with_core_count(n)?;
+        }
+        if let Some(kb) = self.slice_capacity_kb {
+            cfg = cfg.with_slice_capacity(kb * 1024)?;
+        }
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -337,5 +435,60 @@ mod tests {
     #[test]
     fn default_is_server_16() {
         assert_eq!(SystemConfig::default(), SystemConfig::server_16());
+    }
+
+    #[test]
+    fn with_core_count_reshapes_the_torus() {
+        let base = SystemConfig::server_16();
+        for (n, w, h) in [(8, 4, 2), (16, 4, 4), (32, 8, 4), (64, 8, 8)] {
+            let cfg = base.with_core_count(n).expect("power-of-two core counts are valid");
+            assert_eq!(cfg.num_cores, n);
+            assert_eq!((cfg.torus.width, cfg.torus.height), (w, h));
+            cfg.validate().expect("scaled config must validate");
+            // Per-tile parameters are untouched.
+            assert_eq!(cfg.l2_slice, base.l2_slice);
+        }
+        assert!(base.with_core_count(0).is_err());
+        assert!(base.with_core_count(24).is_err());
+    }
+
+    #[test]
+    fn with_slice_capacity_keeps_or_reduces_ways() {
+        // 512 KB at 16 ways: 512 sets, valid — ways preserved.
+        let cfg = SystemConfig::server_16().with_slice_capacity(512 * 1024).unwrap();
+        assert_eq!(cfg.l2_slice.geometry.capacity_bytes, 512 * 1024);
+        assert_eq!(cfg.l2_slice.geometry.ways, 16);
+        // 512 KB at 12 ways is unrealizable; the desktop preset settles on 8.
+        let cfg = SystemConfig::desktop_8().with_slice_capacity(512 * 1024).unwrap();
+        assert_eq!(cfg.l2_slice.geometry.ways, 8);
+        assert_eq!(cfg.l2_slice.geometry.num_sets(), 1024);
+        // A capacity smaller than one block is unrealizable at any way count.
+        assert!(SystemConfig::server_16().with_slice_capacity(32).is_err());
+    }
+
+    #[test]
+    fn config_point_baseline_is_identity() {
+        let base = SystemConfig::server_16();
+        let point = ConfigPoint::baseline();
+        assert!(point.is_baseline());
+        assert_eq!(point.apply(&base).unwrap(), base);
+    }
+
+    #[test]
+    fn config_point_applies_cores_and_capacity() {
+        let base = SystemConfig::server_16();
+        let point = ConfigPoint {
+            num_cores: Some(64),
+            slice_capacity_kb: Some(512),
+            instr_cluster_size: Some(8),
+        };
+        assert!(!point.is_baseline());
+        let cfg = point.apply(&base).unwrap();
+        assert_eq!(cfg.num_cores, 64);
+        assert_eq!(cfg.l2_slice.geometry.capacity_bytes, 512 * 1024);
+        // The cluster-size override is carried, not applied here.
+        assert_eq!(cfg.torus.num_tiles(), 64);
+        let bad = ConfigPoint { num_cores: Some(5), ..ConfigPoint::default() };
+        assert!(bad.apply(&base).is_err());
     }
 }

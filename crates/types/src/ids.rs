@@ -30,7 +30,14 @@ pub struct CoreId(u16);
 
 impl CoreId {
     /// Creates a core identifier from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit the 16-bit representation (65536 cores
+    /// and up). Truncating silently would alias distinct cores — the trace
+    /// codec, for one, stores core indices in exactly these 16 bits.
     pub fn new(index: usize) -> Self {
+        assert!(index <= u16::MAX as usize, "core index {index} exceeds the 16-bit ID space");
         CoreId(index as u16)
     }
 
@@ -66,7 +73,12 @@ pub struct TileId(u16);
 
 impl TileId {
     /// Creates a tile identifier from its row-major index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit the 16-bit representation (see [`CoreId::new`]).
     pub fn new(index: usize) -> Self {
+        assert!(index <= u16::MAX as usize, "tile index {index} exceeds the 16-bit ID space");
         TileId(index as u16)
     }
 
@@ -214,6 +226,18 @@ mod tests {
         assert_eq!(TileId::new(12).to_string(), "T12");
         assert_eq!(RotationalId::new(3).to_string(), "RID3");
         assert_eq!(MemCtrlId::new(1).to_string(), "MC1");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16-bit ID space")]
+    fn oversized_core_index_panics() {
+        CoreId::new(65_536);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16-bit ID space")]
+    fn oversized_tile_index_panics() {
+        TileId::new(1 << 20);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod latency;
 
 pub use access::{AccessClass, AccessKind, MemoryAccess};
 pub use addr::{BlockAddr, PageAddr, PhysAddr};
-pub use config::{CacheGeometry, L2SliceConfig, NocConfig, SystemConfig};
+pub use config::{CacheGeometry, ConfigPoint, L2SliceConfig, NocConfig, SystemConfig};
 pub use error::ConfigError;
 pub use ids::{CoreId, MemCtrlId, RotationalId, TileId};
 pub use latency::Cycles;

@@ -45,4 +45,4 @@ pub use characterize::{
 pub use generator::TraceGenerator;
 pub use regions::AddressLayout;
 pub use spec::{CmpPreset, SharingPattern, WorkloadSpec};
-pub use trace_io::{decode_trace, encode_trace};
+pub use trace_io::{decode_trace, encode_trace, TraceDecodeError, TraceEncodeError};

@@ -7,7 +7,7 @@
 //! footprint is relative to the L2, who shares what), not to re-derive exact
 //! production traces.
 
-use rnuca_types::config::SystemConfig;
+use rnuca_types::config::{ConfigPoint, SystemConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -100,6 +100,12 @@ pub struct WorkloadSpec {
     pub hot_access_fraction: f64,
     /// Fraction of each class's footprint that constitutes the hot subset.
     pub hot_footprint_fraction: f64,
+
+    /// System configuration override for scenario sweeps. `None` (the
+    /// default) runs the workload on its preset's configuration; `Some`
+    /// replaces it, letting one workload profile be evaluated at many core
+    /// counts and slice capacities.
+    pub config_override: Option<SystemConfig>,
 }
 
 impl WorkloadSpec {
@@ -122,6 +128,7 @@ impl WorkloadSpec {
             sharing: SharingPattern::Universal,
             hot_access_fraction: 0.92,
             hot_footprint_fraction: 0.2,
+            config_override: None,
         }
     }
 
@@ -145,6 +152,7 @@ impl WorkloadSpec {
             sharing: SharingPattern::Universal,
             hot_access_fraction: 0.94,
             hot_footprint_fraction: 0.15,
+            config_override: None,
         }
     }
 
@@ -167,6 +175,7 @@ impl WorkloadSpec {
             sharing: SharingPattern::Universal,
             hot_access_fraction: 0.9,
             hot_footprint_fraction: 0.2,
+            config_override: None,
         }
     }
 
@@ -189,6 +198,7 @@ impl WorkloadSpec {
             sharing: SharingPattern::Universal,
             hot_access_fraction: 0.35,
             hot_footprint_fraction: 0.5,
+            config_override: None,
         }
     }
 
@@ -210,6 +220,7 @@ impl WorkloadSpec {
             sharing: SharingPattern::Universal,
             hot_access_fraction: 0.5,
             hot_footprint_fraction: 0.4,
+            config_override: None,
         }
     }
 
@@ -231,6 +242,7 @@ impl WorkloadSpec {
             sharing: SharingPattern::Universal,
             hot_access_fraction: 0.55,
             hot_footprint_fraction: 0.35,
+            config_override: None,
         }
     }
 
@@ -254,6 +266,7 @@ impl WorkloadSpec {
             sharing: SharingPattern::NearestNeighbor { degree: 4 },
             hot_access_fraction: 0.4,
             hot_footprint_fraction: 0.5,
+            config_override: None,
         }
     }
 
@@ -278,6 +291,7 @@ impl WorkloadSpec {
             sharing: SharingPattern::ProducerConsumer,
             hot_access_fraction: 0.8,
             hot_footprint_fraction: 0.2,
+            config_override: None,
         }
     }
 
@@ -310,12 +324,32 @@ impl WorkloadSpec {
 
     /// Number of cores the workload runs on.
     pub fn num_cores(&self) -> usize {
-        self.preset.num_cores()
+        self.system_config().num_cores
     }
 
-    /// The system configuration the workload runs on.
+    /// The system configuration the workload runs on: the preset's, unless a
+    /// scenario sweep installed an override.
     pub fn system_config(&self) -> SystemConfig {
-        self.preset.system_config()
+        self.config_override.unwrap_or_else(|| self.preset.system_config())
+    }
+
+    /// Returns a copy of this workload pinned to an explicit system
+    /// configuration (scenario sweeps use this to evaluate one profile at
+    /// many core counts and slice capacities).
+    pub fn with_system_config(mut self, cfg: SystemConfig) -> Self {
+        self.config_override = Some(cfg);
+        self
+    }
+
+    /// Returns a copy of this workload re-parameterised by a [`ConfigPoint`]
+    /// applied on top of its current system configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the point produces an invalid configuration.
+    pub fn at_config_point(&self, point: &ConfigPoint) -> Result<Self, rnuca_types::ConfigError> {
+        let cfg = point.apply(&self.system_config())?;
+        Ok(self.clone().with_system_config(cfg))
     }
 
     /// Committed instructions represented by each L2 reference.
@@ -351,7 +385,7 @@ impl WorkloadSpec {
                 "busy CPI and L2 reference rate must be positive",
             ));
         }
-        Ok(())
+        self.system_config().validate()
     }
 }
 
@@ -440,5 +474,36 @@ mod tests {
     fn preset_display() {
         assert_eq!(CmpPreset::Server16.to_string(), "16-core");
         assert_eq!(format!("{}", WorkloadSpec::apache()), "Apache (16-core)");
+    }
+
+    #[test]
+    fn system_config_override_takes_effect() {
+        let base = WorkloadSpec::oltp_db2();
+        assert_eq!(base.num_cores(), 16);
+        let scaled = base.system_config().with_core_count(64).unwrap();
+        let spec = base.clone().with_system_config(scaled);
+        assert_eq!(spec.num_cores(), 64);
+        assert_eq!(spec.system_config().torus.width, 8);
+        spec.validate().expect("overridden spec must stay valid");
+        // The original is untouched.
+        assert_eq!(base.num_cores(), 16);
+    }
+
+    #[test]
+    fn at_config_point_applies_overrides_and_rejects_bad_points() {
+        let spec = WorkloadSpec::mix();
+        let point = ConfigPoint {
+            num_cores: Some(32),
+            slice_capacity_kb: Some(1024),
+            instr_cluster_size: None,
+        };
+        let scaled = spec.at_config_point(&point).unwrap();
+        assert_eq!(scaled.num_cores(), 32);
+        assert_eq!(scaled.system_config().l2_slice.geometry.capacity_bytes, 1024 * 1024);
+        let bad = ConfigPoint { num_cores: Some(7), ..ConfigPoint::default() };
+        assert!(spec.at_config_point(&bad).is_err());
+        // The baseline point is the identity.
+        let same = spec.at_config_point(&ConfigPoint::baseline()).unwrap();
+        assert_eq!(same.system_config(), spec.system_config());
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! Long simulations are cheaper to repeat from a recorded trace than to
 //! regenerate (and recorded traces make experiments bit-reproducible across
-//! machines and generator versions). Each [`MemoryAccess`] is encoded in a
+//! machines and generator versions). The header is a 4-byte magic number
+//! followed by a 64-bit record count (a 32-bit count would silently truncate
+//! billion-reference traces); each [`MemoryAccess`] is then encoded in a
 //! fixed 11-byte record: 2 bytes of core index, 8 bytes of physical address,
 //! and 1 byte packing the access kind and class.
 
@@ -15,8 +17,30 @@ use std::fmt;
 
 /// Bytes per encoded record.
 pub const RECORD_BYTES: usize = 11;
+/// Bytes of header preceding the records (magic number + 64-bit record count).
+pub const HEADER_BYTES: usize = 12;
 /// Magic number prefixed to every encoded trace.
 const MAGIC: u32 = 0x524E_5543; // "RNUC"
+
+/// An error produced while encoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEncodeError {
+    message: String,
+}
+
+impl TraceEncodeError {
+    fn new(message: impl Into<String>) -> Self {
+        TraceEncodeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TraceEncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for TraceEncodeError {}
 
 /// An error produced while decoding a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,16 +93,28 @@ fn decode_tag(tag: u8) -> Result<(AccessKind, AccessClass), TraceDecodeError> {
 }
 
 /// Encodes a trace into a self-describing binary buffer.
-pub fn encode_trace(trace: &[MemoryAccess]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + trace.len() * RECORD_BYTES);
+///
+/// # Errors
+///
+/// Returns an error if a record's core index does not fit the 2-byte on-disk
+/// field. (`CoreId` currently guarantees this, but the codec re-checks so a
+/// future widening of the ID type cannot silently corrupt traces.)
+pub fn encode_trace(trace: &[MemoryAccess]) -> Result<Bytes, TraceEncodeError> {
+    let mut buf = BytesMut::with_capacity(HEADER_BYTES + trace.len() * RECORD_BYTES);
     buf.put_u32(MAGIC);
-    buf.put_u32(trace.len() as u32);
-    for a in trace {
-        buf.put_u16(a.core.index() as u16);
+    buf.put_u64(trace.len() as u64);
+    for (i, a) in trace.iter().enumerate() {
+        let core = u16::try_from(a.core.index()).map_err(|_| {
+            TraceEncodeError::new(format!(
+                "record {i}: core index {} exceeds the codec's 16-bit field",
+                a.core.index()
+            ))
+        })?;
+        buf.put_u16(core);
         buf.put_u64(a.addr.value());
         buf.put_u8(encode_tag(a.kind, a.class));
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Decodes a trace previously produced by [`encode_trace`].
@@ -88,20 +124,24 @@ pub fn encode_trace(trace: &[MemoryAccess]) -> Bytes {
 /// Returns an error if the magic number is wrong, the buffer is truncated, or
 /// a record carries an invalid tag.
 pub fn decode_trace(mut data: Bytes) -> Result<Vec<MemoryAccess>, TraceDecodeError> {
-    if data.remaining() < 8 {
+    if data.remaining() < HEADER_BYTES {
         return Err(TraceDecodeError::new("trace header is truncated"));
     }
     let magic = data.get_u32();
     if magic != MAGIC {
         return Err(TraceDecodeError::new(format!("bad magic number {magic:#010x}")));
     }
-    let count = data.get_u32() as usize;
-    if data.remaining() < count * RECORD_BYTES {
-        return Err(TraceDecodeError::new(format!(
-            "trace body is truncated: expected {count} records, have {} bytes",
-            data.remaining()
-        )));
-    }
+    let count = data.get_u64();
+    let body_bytes = count
+        .checked_mul(RECORD_BYTES as u64)
+        .filter(|&b| b <= data.remaining() as u64)
+        .ok_or_else(|| {
+            TraceDecodeError::new(format!(
+                "trace body is truncated: expected {count} records, have {} bytes",
+                data.remaining()
+            ))
+        })?;
+    let count = (body_bytes as usize) / RECORD_BYTES;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         let core = CoreId::new(data.get_u16() as usize);
@@ -122,23 +162,34 @@ mod tests {
     fn roundtrip_preserves_every_record() {
         let spec = WorkloadSpec::oltp_db2();
         let trace = TraceGenerator::new(&spec, 9).generate(5_000);
-        let encoded = encode_trace(&trace);
-        assert_eq!(encoded.len(), 8 + trace.len() * RECORD_BYTES);
+        let encoded = encode_trace(&trace).expect("core indices fit the codec");
+        assert_eq!(encoded.len(), HEADER_BYTES + trace.len() * RECORD_BYTES);
         let decoded = decode_trace(encoded).expect("roundtrip must succeed");
         assert_eq!(decoded, trace);
     }
 
     #[test]
     fn empty_trace_roundtrips() {
-        let encoded = encode_trace(&[]);
+        let encoded = encode_trace(&[]).unwrap();
+        assert_eq!(encoded.len(), HEADER_BYTES);
         assert_eq!(decode_trace(encoded).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn header_count_is_64_bits() {
+        let spec = WorkloadSpec::mix();
+        let trace = TraceGenerator::new(&spec, 2).generate(3);
+        let encoded = encode_trace(&trace).unwrap();
+        // Bytes 4..12 hold the big-endian record count.
+        let count = u64::from_be_bytes(encoded.as_ref()[4..12].try_into().unwrap());
+        assert_eq!(count, 3);
     }
 
     #[test]
     fn bad_magic_is_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u32(0xDEADBEEF);
-        buf.put_u32(0);
+        buf.put_u64(0);
         assert!(decode_trace(buf.freeze()).is_err());
     }
 
@@ -146,9 +197,20 @@ mod tests {
     fn truncated_body_is_rejected() {
         let spec = WorkloadSpec::mix();
         let trace = TraceGenerator::new(&spec, 1).generate(10);
-        let encoded = encode_trace(&trace);
+        let encoded = encode_trace(&trace).unwrap();
         let truncated = encoded.slice(0..encoded.len() - 3);
         let err = decode_trace(truncated).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn absurd_count_is_rejected_without_allocating() {
+        // A header claiming u64::MAX records must fail cleanly (the old u32
+        // count could also silently alias `count * RECORD_BYTES` overflow).
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u64(u64::MAX);
+        let err = decode_trace(buf.freeze()).unwrap_err();
         assert!(err.to_string().contains("truncated"));
     }
 
@@ -161,7 +223,7 @@ mod tests {
     fn invalid_tag_is_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u32(MAGIC);
-        buf.put_u32(1);
+        buf.put_u64(1);
         buf.put_u16(0);
         buf.put_u64(0x1000);
         buf.put_u8(0xFF);
