@@ -16,7 +16,12 @@ fn uniform_traffic(net: &mut Network, messages: usize) {
         let src = TileId::new(i % n);
         let dst = TileId::new((i * 7 + 3) % n);
         net.send(
-            Message::new(src, dst, MessageKind::DataResponse, BlockAddr::from_block_number(i as u64)),
+            Message::new(
+                src,
+                dst,
+                MessageKind::DataResponse,
+                BlockAddr::from_block_number(i as u64),
+            ),
             64,
         );
     }
@@ -27,13 +32,17 @@ fn bench_topology(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_topology");
     group.sample_size(20);
     for topo in [Topology::FoldedTorus, Topology::Mesh] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{topo}")), &topo, |b, &topo| {
-            b.iter(|| {
-                let mut net = Network::new(topo, cfg.torus).with_traffic_recording();
-                uniform_traffic(&mut net, 4096);
-                net.stats().average_hops()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{topo}")),
+            &topo,
+            |b, &topo| {
+                b.iter(|| {
+                    let mut net = Network::new(topo, cfg.torus).with_traffic_recording();
+                    uniform_traffic(&mut net, 4096);
+                    net.stats().average_hops()
+                });
+            },
+        );
         let mut net = Network::new(topo, cfg.torus).with_traffic_recording();
         uniform_traffic(&mut net, 65_536);
         println!(

@@ -11,7 +11,11 @@ use rnuca_workloads::WorkloadSpec;
 fn bench_clustering(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig02_clustering");
     group.sample_size(10);
-    for spec in [WorkloadSpec::oltp_db2(), WorkloadSpec::em3d(), WorkloadSpec::mix()] {
+    for spec in [
+        WorkloadSpec::oltp_db2(),
+        WorkloadSpec::em3d(),
+        WorkloadSpec::mix(),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(&spec.name), &spec, |b, spec| {
             b.iter(|| characterize_workload(spec, 50_000, 1));
         });

@@ -15,9 +15,13 @@ fn bench_cpi(c: &mut Criterion) {
     for spec in [WorkloadSpec::oltp_db2(), WorkloadSpec::mix()] {
         for design in LlcDesign::evaluation_set() {
             let id = format!("{}/{}", spec.name, design.letter());
-            group.bench_with_input(BenchmarkId::from_parameter(id), &(&spec, design), |b, (spec, design)| {
-                b.iter(|| DesignComparison::run_single(spec, *design, &cfg));
-            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(&spec, design),
+                |b, (spec, design)| {
+                    b.iter(|| DesignComparison::run_single(spec, *design, &cfg));
+                },
+            );
         }
         let results = DesignComparison::run_workload(&spec, &cfg);
         let base = results.private_baseline().total_cpi();
@@ -26,7 +30,11 @@ fn bench_cpi(c: &mut Criterion) {
             .filter_map(|l| results.by_letter(l))
             .map(|r| format!("{}={:.3}", r.design.letter(), r.total_cpi() / base))
             .collect();
-        println!("[fig7] {} CPI normalised to private: {}", spec.name, row.join(" "));
+        println!(
+            "[fig7] {} CPI normalised to private: {}",
+            spec.name,
+            row.join(" ")
+        );
     }
     group.finish();
 }

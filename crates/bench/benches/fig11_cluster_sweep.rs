@@ -19,12 +19,20 @@ fn bench_cluster_sweep(c: &mut Criterion) {
             b.iter(|| {
                 DesignComparison::run_single(
                     &spec,
-                    LlcDesign::RNuca { instr_cluster_size: size },
+                    LlcDesign::RNuca {
+                        instr_cluster_size: size,
+                    },
                     &cfg,
                 )
             });
         });
-        let r = DesignComparison::run_single(&spec, LlcDesign::RNuca { instr_cluster_size: size }, &cfg);
+        let r = DesignComparison::run_single(
+            &spec,
+            LlcDesign::RNuca {
+                instr_cluster_size: size,
+            },
+            &cfg,
+        );
         rows.push((size, r.run));
     }
     group.finish();

@@ -18,7 +18,11 @@ fn bench_speedup(c: &mut Criterion) {
             .iter()
             .map(|(d, s)| format!("{}={:+.1}%", d.letter(), (s - 1.0) * 100.0))
             .collect();
-        println!("[fig12] {} speedup over private: {}", spec.name, speedups.join(" "));
+        println!(
+            "[fig12] {} speedup over private: {}",
+            spec.name,
+            speedups.join(" ")
+        );
     }
     group.finish();
 }

@@ -16,8 +16,9 @@ use rnuca_types::ids::CoreId;
 fn bench_lookup(c: &mut Criterion) {
     let cfg = SystemConfig::server_16();
     let engine = PlacementEngine::new(PlacementConfig::from_system(&cfg));
-    let blocks: Vec<BlockAddr> =
-        (0..4096u64).map(|i| BlockAddr::from_block_number(i << 10)).collect();
+    let blocks: Vec<BlockAddr> = (0..4096u64)
+        .map(|i| BlockAddr::from_block_number(i << 10))
+        .collect();
 
     c.bench_function("rotational_instruction_lookup", |b| {
         b.iter(|| {

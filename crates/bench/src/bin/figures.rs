@@ -7,8 +7,8 @@
 //! cargo run --release -p rnuca-bench --bin figures -- --quick --workers=4 sweep
 //! ```
 //!
-//! Supported targets: `table1`, `fig2`..`fig12`, `accuracy`, `all`, `sweep`.
-//! `--quick` shrinks warm-up and measurement windows for a fast run;
+//! Supported targets: `table1`, `fig2`..`fig12`, `accuracy`, `all`, `sweep`,
+//! `perf`. `--quick` shrinks warm-up and measurement windows for a fast run;
 //! `--smoke` shrinks them further for CI smoke tests. `--workers=N` bounds
 //! the experiment engine's worker pool (results are identical for every N).
 //!
@@ -16,8 +16,15 @@
 //! capacities 512 KB/1 MB/2 MB, R-NUCA instruction clusters 2/4/8 — and
 //! prints JSON to stdout (nothing else, so it can be piped into a file).
 //! `sweep` is intentionally not part of `all`, which emits text tables.
+//!
+//! `perf` runs the timed throughput suite (five designs × three workloads ×
+//! 16/32/64 cores) and writes `BENCH_perf.json` (`--out=PATH` overrides the
+//! path). With `--baseline=bench/baseline.json` it also evaluates the
+//! perf-regression gate and exits non-zero when aggregate blocks/sec drops
+//! below the baseline's tolerance — the CI perf gate. Like `sweep`, `perf`
+//! is not part of `all`.
 
-use rnuca_bench::characterize_workload;
+use rnuca_bench::{characterize_workload, evaluate_gate, run_perf, PerfBaseline};
 use rnuca_os::rid_assignment;
 use rnuca_sim::report::{fmt3, fmt_pct};
 use rnuca_sim::{DesignComparison, ExperimentConfig, ExperimentEngine, TextTable};
@@ -44,16 +51,32 @@ fn main() {
         },
         None => ExperimentEngine::new(),
     };
-    let targets: Vec<String> =
-        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
-    let targets = if targets.is_empty() { vec!["all".to_string()] } else { targets };
-
-    let cfg = if smoke {
-        ExperimentConfig::smoke()
-    } else if quick {
-        ExperimentConfig::quick()
+    let perf_out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_perf.json")
+        .to_string();
+    let baseline_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--baseline="))
+        .map(String::from);
+    let targets: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let targets = if targets.is_empty() {
+        vec!["all".to_string()]
     } else {
-        ExperimentConfig::full()
+        targets
+    };
+
+    let (cfg, cfg_label) = if smoke {
+        (ExperimentConfig::smoke(), "smoke")
+    } else if quick {
+        (ExperimentConfig::quick(), "quick")
+    } else {
+        (ExperimentConfig::full(), "full")
     };
     let char_refs = if smoke {
         CHARACTERIZATION_REFS_SMOKE
@@ -65,10 +88,17 @@ fn main() {
 
     // The evaluation (Figures 7-12) shares one run of every workload x design.
     let needs_eval = targets.iter().any(|t| {
-        t == "all" || matches!(t.as_str(), "fig7" | "fig8" | "fig9" | "fig10" | "fig12" | "accuracy")
+        t == "all"
+            || matches!(
+                t.as_str(),
+                "fig7" | "fig8" | "fig9" | "fig10" | "fig12" | "accuracy"
+            )
     });
-    let comparison =
-        if needs_eval { Some(DesignComparison::run_evaluation_with(&cfg, &engine)) } else { None };
+    let comparison = if needs_eval {
+        Some(DesignComparison::run_evaluation_with(&cfg, &engine))
+    } else {
+        None
+    };
 
     for target in &targets {
         match target.as_str() {
@@ -86,6 +116,13 @@ fn main() {
             "fig12" => fig12(comparison.as_ref().unwrap()),
             "accuracy" => accuracy(comparison.as_ref().unwrap()),
             "sweep" => sweep(cfg, &engine),
+            "perf" => perf(
+                &cfg,
+                cfg_label,
+                &engine,
+                &perf_out,
+                baseline_path.as_deref(),
+            ),
             "all" => {
                 table1();
                 fig2(char_refs);
@@ -112,8 +149,65 @@ fn main() {
 /// Prints the result matrix as JSON on stdout.
 fn sweep(cfg: ExperimentConfig, engine: &ExperimentEngine) {
     let matrix = rnuca_bench::default_sweep_matrix(cfg);
-    let sweep = matrix.run_with(engine).expect("the default sweep axes are valid");
+    let sweep = matrix
+        .run_with(engine)
+        .expect("the default sweep axes are valid");
     print!("{}", sweep.to_json());
+}
+
+/// The timed throughput suite: writes `BENCH_perf.json` to `out` and, when a
+/// baseline is given, evaluates the regression gate (exiting non-zero on
+/// failure, which is how CI turns a perf regression into a red build).
+fn perf(
+    cfg: &ExperimentConfig,
+    cfg_label: &str,
+    engine: &ExperimentEngine,
+    out: &str,
+    baseline: Option<&str>,
+) {
+    heading("perf: timed end-to-end throughput");
+    let report = run_perf(cfg, engine);
+    let gate = baseline.map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| exit_with(&format!("cannot read baseline {path}: {e}")));
+        let parsed = PerfBaseline::from_json(&text, cfg_label)
+            .unwrap_or_else(|e| exit_with(&format!("cannot parse baseline {path}: {e}")));
+        evaluate_gate(&report, &parsed)
+    });
+    let json = match &gate {
+        Some(g) => report.to_json_with_gate(g),
+        None => report.to_json(),
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| exit_with(&format!("cannot write {out}: {e}")));
+    println!(
+        "{} scenarios, {} refs, {:.0} blocks/sec (hot path), {:.2} jobs/sec -> {out}",
+        report.totals.scenarios,
+        report.totals.refs,
+        report.totals.blocks_per_sec,
+        report.totals.jobs_per_sec,
+    );
+    if let Some(g) = gate {
+        println!(
+            "baseline: {:+.1}% vs pre-optimization, {:.2}x gate (tolerance {:.0}%)",
+            (g.speedup_vs_pre_optimization - 1.0) * 100.0,
+            g.ratio_vs_gate,
+            g.baseline.tolerance * 100.0,
+        );
+        if !g.pass {
+            exit_with(&format!(
+                "PERF GATE FAILED: {:.0} blocks/sec is more than {:.0}% below the baseline {:.0}",
+                report.totals.blocks_per_sec,
+                g.baseline.tolerance * 100.0,
+                g.baseline.gate_blocks_per_sec,
+            ));
+        }
+        println!("perf gate: PASS");
+    }
+}
+
+fn exit_with(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
 }
 
 fn heading(title: &str) {
@@ -122,7 +216,10 @@ fn heading(title: &str) {
 
 fn table1() {
     heading("Table 1: system parameters");
-    for (label, cfg) in [("16-core (server/scientific)", SystemConfig::server_16()), ("8-core (multi-programmed)", SystemConfig::desktop_8())] {
+    for (label, cfg) in [
+        ("16-core (server/scientific)", SystemConfig::server_16()),
+        ("8-core (multi-programmed)", SystemConfig::desktop_8()),
+    ] {
         println!(
             "{label}: {} cores, {} KB L2/slice {}-way {}-cycle hit, {}x{} folded torus, {}-cycle DRAM, {} memory controllers",
             cfg.num_cores,
@@ -139,7 +236,13 @@ fn table1() {
 
 fn fig2(refs: usize) {
     heading("Figure 2: L2 reference clustering (sharers vs read-write blocks)");
-    let mut table = TextTable::new(vec!["workload", "class", "sharers", "%accesses", "%RW blocks"]);
+    let mut table = TextTable::new(vec![
+        "workload",
+        "class",
+        "sharers",
+        "%accesses",
+        "%RW blocks",
+    ]);
     for spec in WorkloadSpec::evaluation_suite() {
         let c = characterize_workload(&spec, refs, 1);
         for b in &c.sharers.bubbles {
@@ -164,7 +267,9 @@ fn fig3(refs: usize) {
 }
 
 fn fig4(refs: usize) {
-    heading("Figure 4: working-set CDFs (footprint KB capturing 50% / 90% of each class's references)");
+    heading(
+        "Figure 4: working-set CDFs (footprint KB capturing 50% / 90% of each class's references)",
+    );
     let mut table = TextTable::new(vec![
         "workload",
         "instr KB@50%",
@@ -216,7 +321,9 @@ fn fig6() {
     heading("Figure 6: rotational-ID assignment and size-4 cluster example (4x4 torus)");
     let rids = rid_assignment(4, 4, 4, 0);
     for y in 0..4 {
-        let row: Vec<String> = (0..4).map(|x| format!("{:02b}", rids[y * 4 + x].value())).collect();
+        let row: Vec<String> = (0..4)
+            .map(|x| format!("{:02b}", rids[y * 4 + x].value()))
+            .collect();
         println!("  {}", row.join(" "));
     }
     let engine = rnuca::PlacementEngine::new(rnuca::PlacementConfig::from_system(
@@ -224,12 +331,19 @@ fn fig6() {
     ));
     let cluster = engine.instruction_cluster(rnuca_types::ids::CoreId::new(5));
     let members: Vec<String> = cluster.members().iter().map(TileId::to_string).collect();
-    println!("  size-4 fixed-center cluster of tile T5: {{{}}}", members.join(", "));
+    println!(
+        "  size-4 fixed-center cluster of tile T5: {{{}}}",
+        members.join(", ")
+    );
 }
 
 fn accuracy(c: &DesignComparison) {
     heading("Section 5.2: page-classification accuracy under R-NUCA");
-    let mut table = TextTable::new(vec!["workload", "misclassified accesses", "re-classifications"]);
+    let mut table = TextTable::new(vec![
+        "workload",
+        "misclassified accesses",
+        "re-classifications",
+    ]);
     for w in &c.workloads {
         if let Some(r) = w.by_letter("R") {
             table.add_row(vec![
@@ -271,8 +385,13 @@ fn fig7(c: &DesignComparison) {
 
 fn fig8(c: &DesignComparison) {
     heading("Figure 8: CPI of L1-to-L1 and shared-data L2 loads, normalised to the private design's total CPI");
-    let mut table =
-        TextTable::new(vec!["workload", "design", "L1-to-L1", "L2 shared coherence", "L2 shared load"]);
+    let mut table = TextTable::new(vec![
+        "workload",
+        "design",
+        "L1-to-L1",
+        "L2 shared coherence",
+        "L2 shared load",
+    ]);
     for w in &c.workloads {
         let base = w.private_baseline().total_cpi();
         for letter in ["P", "A", "S", "R"] {
@@ -296,7 +415,9 @@ fn fig9(c: &DesignComparison) {
 }
 
 fn fig10(c: &DesignComparison) {
-    heading("Figure 10: CPI of L2 instruction accesses, normalised to the private design's total CPI");
+    heading(
+        "Figure 10: CPI of L2 instruction accesses, normalised to the private design's total CPI",
+    );
     per_class_l2_table(c, AccessClass::Instruction);
 }
 
@@ -311,7 +432,9 @@ fn per_class_l2_table(c: &DesignComparison, class: AccessClass) {
                 .map(|r| match class {
                     AccessClass::PrivateData => r.run.cpi.l2_private_data,
                     AccessClass::Instruction => r.run.cpi.l2_instructions,
-                    AccessClass::SharedData => r.run.cpi.l2_shared_load + r.run.cpi.l2_shared_coherence,
+                    AccessClass::SharedData => {
+                        r.run.cpi.l2_shared_load + r.run.cpi.l2_shared_coherence
+                    }
                 })
                 .unwrap_or(f64::NAN);
             row.push(fmt3(v / base));
@@ -325,7 +448,11 @@ fn fig11(cfg: &ExperimentConfig, engine: &ExperimentEngine) {
     heading("Figure 11: CPI vs R-NUCA instruction-cluster size, normalised to size-1 clusters");
     let sweep = DesignComparison::run_cluster_sweep_with(cfg, &[1, 2, 4, 8, 16], engine);
     let mut table = TextTable::new(vec![
-        "workload", "size", "total/size-1", "L2 instr CPI", "off-chip CPI",
+        "workload",
+        "size",
+        "total/size-1",
+        "L2 instr CPI",
+        "off-chip CPI",
     ]);
     for (name, rows) in &sweep {
         let base = rows.first().map(|(_, r)| r.total_cpi()).unwrap_or(1.0);
@@ -348,11 +475,18 @@ fn fig12(c: &DesignComparison) {
     for w in &c.workloads {
         let mut row = vec![
             w.workload.clone(),
-            if w.private_averse { "private-averse".into() } else { "shared-averse".into() },
+            if w.private_averse {
+                "private-averse".into()
+            } else {
+                "shared-averse".into()
+            },
         ];
         let baseline = w.private_baseline();
         for letter in ["P", "A", "S", "R", "I"] {
-            let s = w.by_letter(letter).map(|r| r.speedup_over(baseline)).unwrap_or(f64::NAN);
+            let s = w
+                .by_letter(letter)
+                .map(|r| r.speedup_over(baseline))
+                .unwrap_or(f64::NAN);
             row.push(format!("{:+.1}%", (s - 1.0) * 100.0));
         }
         table.add_row(row);

@@ -6,6 +6,15 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod perf;
+
+pub use json::JsonValue;
+pub use perf::{
+    default_perf_scenarios, evaluate_gate, run_perf, run_perf_scenarios, GateOutcome, PerfBaseline,
+    PerfReport, PerfResult, PerfScenario, PerfTotals,
+};
+
 use rnuca_sim::report::{fmt3, fmt_pct};
 use rnuca_sim::{DesignComparison, ExperimentConfig, ScenarioMatrix, TextTable};
 use rnuca_workloads::{TraceCharacterization, TraceGenerator, WorkloadSpec};
@@ -19,7 +28,13 @@ pub fn characterize_workload(spec: &WorkloadSpec, n: usize, seed: u64) -> TraceC
 
 /// Renders Figure 3 (L2 reference breakdown by class) as a text table.
 pub fn figure3_table(n: usize, seed: u64) -> TextTable {
-    let mut table = TextTable::new(vec!["workload", "instr", "private", "shared-RW", "shared-RO"]);
+    let mut table = TextTable::new(vec![
+        "workload",
+        "instr",
+        "private",
+        "shared-RW",
+        "shared-RO",
+    ]);
     for spec in WorkloadSpec::evaluation_suite() {
         let c = characterize_workload(&spec, n, seed);
         table.add_row(vec![
@@ -40,7 +55,10 @@ pub fn figure7_table(comparison: &DesignComparison) -> TextTable {
         let base = w.private_baseline().total_cpi();
         let mut row = vec![w.workload.clone()];
         for letter in ["P", "A", "S", "R"] {
-            let cpi = w.by_letter(letter).map(|r| r.total_cpi() / base).unwrap_or(f64::NAN);
+            let cpi = w
+                .by_letter(letter)
+                .map(|r| r.total_cpi() / base)
+                .unwrap_or(f64::NAN);
             row.push(fmt3(cpi));
         }
         table.add_row(row);

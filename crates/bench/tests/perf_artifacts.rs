@@ -1,0 +1,117 @@
+//! Keeps the checked-in perf artifacts honest: `bench/baseline.json` must
+//! parse for every run configuration, and the recorded `BENCH_perf.json`
+//! must carry the documented schema, a passing gate, and the hot-path
+//! speedup this optimization round claims.
+
+use rnuca_bench::{JsonValue, PerfBaseline};
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(name: &str) -> String {
+    let path = repo_root().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn checked_in_baseline_has_a_section_per_config() {
+    let text = read("bench/baseline.json");
+    for config in ["smoke", "quick", "full"] {
+        let b = PerfBaseline::from_json(&text, config)
+            .unwrap_or_else(|e| panic!("baseline section {config}: {e}"));
+        assert!(
+            b.pre_optimization_blocks_per_sec > 0.0,
+            "{config}: pre-opt must be positive"
+        );
+        assert!(
+            b.gate_blocks_per_sec > 0.0,
+            "{config}: gate must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&b.tolerance),
+            "{config}: tolerance must be a fraction, got {}",
+            b.tolerance
+        );
+    }
+    // The longer configurations must record a real before/after gap: the
+    // gate (post-optimization) number sits above the pre-optimization one.
+    for config in ["quick", "full"] {
+        let b = PerfBaseline::from_json(&text, config).unwrap();
+        assert!(
+            b.gate_blocks_per_sec > b.pre_optimization_blocks_per_sec,
+            "{config}: the optimization must have moved the gate above the pre-opt number"
+        );
+    }
+}
+
+#[test]
+fn recorded_bench_perf_json_parses_with_schema_and_speedup() {
+    let doc = JsonValue::parse(&read("BENCH_perf.json")).expect("BENCH_perf.json must parse");
+    assert_eq!(
+        doc.get("schema_version").and_then(JsonValue::as_f64),
+        Some(1.0)
+    );
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .expect("scenarios array");
+    assert_eq!(
+        scenarios.len(),
+        45,
+        "5 designs x 3 workloads x 3 core counts"
+    );
+    for s in scenarios {
+        for key in [
+            "workload",
+            "design",
+            "letter",
+            "cores",
+            "refs",
+            "total_cpi",
+            "blocks_per_sec",
+        ] {
+            assert!(s.get(key).is_some(), "scenario record must carry {key}");
+        }
+    }
+    let totals = doc.get("totals").expect("totals object");
+    assert!(
+        totals
+            .get("blocks_per_sec")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            > 0.0
+    );
+
+    // The recorded run carries the regression-gate verdict...
+    let baseline = doc
+        .get("baseline")
+        .expect("recorded run must include the baseline block");
+    assert_eq!(
+        baseline.get("gate_pass").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    let speedup = baseline
+        .get("speedup_vs_pre_optimization")
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert!(
+        speedup > 1.0,
+        "recorded run must be faster than pre-optimization"
+    );
+
+    // ...and when it was recorded at the full configuration (the checked-in
+    // record always is), it must document the >=1.5x hot-path improvement
+    // this PR's optimization round achieved.
+    let warmup = doc
+        .get("config")
+        .and_then(|c| c.get("warmup_refs"))
+        .and_then(JsonValue::as_f64);
+    if warmup == Some(600_000.0) {
+        assert!(
+            speedup >= 1.5,
+            "full-config record must show at least 1.5x over pre-optimization, got {speedup:.2}"
+        );
+    }
+}

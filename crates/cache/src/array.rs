@@ -46,7 +46,12 @@ impl<T> CacheArray<T> {
         for _ in 0..num_sets {
             sets.push(Vec::with_capacity(geometry.ways));
         }
-        CacheArray { geometry, sets, clock: 0, stats: CacheStats::default() }
+        CacheArray {
+            geometry,
+            sets,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The geometry this array was built with.
@@ -122,7 +127,10 @@ impl<T> CacheArray<T> {
     /// Checks residency without perturbing LRU state or statistics.
     pub fn peek(&self, block: BlockAddr) -> Option<&T> {
         let set = self.set_index(block);
-        self.sets[set].iter().find(|w| w.block == block).map(|w| &w.meta)
+        self.sets[set]
+            .iter()
+            .find(|w| w.block == block)
+            .map(|w| &w.meta)
     }
 
     /// Returns `true` if the block is resident (no LRU/statistics side effects).
@@ -158,12 +166,19 @@ impl<T> CacheArray<T> {
                 .expect("full set has at least one way");
             let victim = entries.swap_remove(victim_idx);
             self.stats.evictions += 1;
-            Some(Eviction { block: victim.block, meta: victim.meta })
+            Some(Eviction {
+                block: victim.block,
+                meta: victim.meta,
+            })
         } else {
             None
         };
 
-        entries.push(Way { block, meta, last_use: clock });
+        entries.push(Way {
+            block,
+            meta,
+            last_use: clock,
+        });
         evicted
     }
 
@@ -190,7 +205,10 @@ impl<T> CacheArray<T> {
                 if pred(set[i].block, &set[i].meta) {
                     let way = set.swap_remove(i);
                     self.stats.invalidations += 1;
-                    removed.push(Eviction { block: way.block, meta: way.meta });
+                    removed.push(Eviction {
+                        block: way.block,
+                        meta: way.meta,
+                    });
                 } else {
                     i += 1;
                 }
@@ -201,7 +219,9 @@ impl<T> CacheArray<T> {
 
     /// Iterates over all resident blocks and their metadata (set order, then way order).
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &T)> {
-        self.sets.iter().flat_map(|set| set.iter().map(|w| (w.block, &w.meta)))
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|w| (w.block, &w.meta)))
     }
 
     /// Removes every block from the array.

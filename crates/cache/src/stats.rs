@@ -57,7 +57,11 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert_eq!(s.probes(), 4);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert!((s.miss_rate() - 0.25).abs() < 1e-12);
@@ -72,9 +76,30 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = CacheStats { hits: 1, misses: 2, fills: 3, evictions: 4, invalidations: 5 };
-        let b = CacheStats { hits: 10, misses: 20, fills: 30, evictions: 40, invalidations: 50 };
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            fills: 3,
+            evictions: 4,
+            invalidations: 5,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            fills: 30,
+            evictions: 40,
+            invalidations: 50,
+        };
         a.merge(&b);
-        assert_eq!(a, CacheStats { hits: 11, misses: 22, fills: 33, evictions: 44, invalidations: 55 });
+        assert_eq!(
+            a,
+            CacheStats {
+                hits: 11,
+                misses: 22,
+                fills: 33,
+                evictions: 44,
+                invalidations: 55
+            }
+        );
     }
 }

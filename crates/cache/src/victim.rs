@@ -22,7 +22,11 @@ impl<T> VictimCache<T> {
     /// A zero capacity is allowed and produces a victim cache that never holds
     /// anything (useful to disable the structure in ablations).
     pub fn new(capacity: usize) -> Self {
-        VictimCache { capacity, entries: VecDeque::new(), stats: CacheStats::default() }
+        VictimCache {
+            capacity,
+            entries: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
     }
 
     /// Maximum number of blocks held.

@@ -4,8 +4,11 @@ use crate::protocol::{MosiState, ReadOutcome, ReadSource, WriteOutcome};
 use crate::sharers::SharerSet;
 use rnuca_types::addr::BlockAddr;
 use rnuca_types::ids::TileId;
+use rnuca_types::index_map::U64Map;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// Blocks the directory pre-sizes for; past this it grows by doubling.
+const INITIAL_BLOCK_CAPACITY: usize = 8_192;
 
 /// Counters accumulated by a [`Directory`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,10 +45,14 @@ struct Entry {
 /// The same structure serves both deployment points of the paper:
 /// * tracking which **L1** caches share a block (shared / R-NUCA designs), and
 /// * tracking which **L2 slices** hold a block (private / ASR designs).
+///
+/// Every store and every local L2 miss of the private/ASR designs performs a
+/// directory transaction, so the entry table is an open-addressed
+/// [`U64Map`] keyed by the block number rather than a SipHash `HashMap`.
 #[derive(Debug, Clone)]
 pub struct Directory {
     num_tiles: usize,
-    entries: HashMap<BlockAddr, Entry>,
+    entries: U64Map<Entry>,
     stats: DirectoryStats,
 }
 
@@ -56,8 +63,15 @@ impl Directory {
     ///
     /// Panics if `num_tiles` is zero or greater than 64 (the sharer-mask width).
     pub fn new(num_tiles: usize) -> Self {
-        assert!(num_tiles > 0 && num_tiles <= 64, "directory supports 1..=64 tiles");
-        Directory { num_tiles, entries: HashMap::new(), stats: DirectoryStats::default() }
+        assert!(
+            num_tiles > 0 && num_tiles <= 64,
+            "directory supports 1..=64 tiles"
+        );
+        Directory {
+            num_tiles,
+            entries: U64Map::with_capacity(INITIAL_BLOCK_CAPACITY),
+            stats: DirectoryStats::default(),
+        }
     }
 
     /// Number of tiles this directory was built for.
@@ -82,17 +96,23 @@ impl Directory {
 
     /// The sharers currently recorded for a block.
     pub fn sharers(&self, block: BlockAddr) -> SharerSet {
-        self.entries.get(&block).map(|e| e.sharers).unwrap_or_default()
+        self.entries
+            .get(block.block_number())
+            .map(|e| e.sharers)
+            .unwrap_or_default()
     }
 
     /// The current owner of a block (the tile responsible for supplying dirty data), if any.
     pub fn owner(&self, block: BlockAddr) -> Option<TileId> {
-        self.entries.get(&block).and_then(|e| e.owner)
+        self.entries.get(block.block_number()).and_then(|e| e.owner)
     }
 
     /// Returns `true` if any tile holds a copy of the block.
     pub fn is_cached(&self, block: BlockAddr) -> bool {
-        self.entries.get(&block).map(|e| !e.sharers.is_empty()).unwrap_or(false)
+        self.entries
+            .get(block.block_number())
+            .map(|e| !e.sharers.is_empty())
+            .unwrap_or(false)
     }
 
     fn check_tile(&self, tile: TileId) {
@@ -108,7 +128,10 @@ impl Directory {
     pub fn handle_read(&mut self, block: BlockAddr, requester: TileId) -> ReadOutcome {
         self.check_tile(requester);
         self.stats.reads += 1;
-        let entry = self.entries.entry(block).or_default();
+        let entry = self
+            .entries
+            .get_or_insert_with(block.block_number(), Entry::default)
+            .0;
 
         if entry.sharers.contains(requester) {
             // Already has a copy: nothing to do (the requester's cache hit).
@@ -117,7 +140,11 @@ impl Directory {
             } else {
                 MosiState::Shared
             };
-            return ReadOutcome { source: ReadSource::AlreadyPresent, downgraded_owner: false, new_state: state };
+            return ReadOutcome {
+                source: ReadSource::AlreadyPresent,
+                downgraded_owner: false,
+                new_state: state,
+            };
         }
 
         if entry.sharers.is_empty() {
@@ -135,7 +162,10 @@ impl Directory {
 
         // Forward from the owner (if dirty) or any current sharer.
         let supplier = if entry.dirty {
-            entry.owner.or_else(|| entry.sharers.first()).expect("dirty entry has an owner")
+            entry
+                .owner
+                .or_else(|| entry.sharers.first())
+                .expect("dirty entry has an owner")
         } else {
             entry.sharers.first().expect("non-empty sharer set")
         };
@@ -154,10 +184,13 @@ impl Directory {
     pub fn handle_write(&mut self, block: BlockAddr, requester: TileId) -> WriteOutcome {
         self.check_tile(requester);
         self.stats.writes += 1;
-        let entry = self.entries.entry(block).or_default();
+        let entry = self
+            .entries
+            .get_or_insert_with(block.block_number(), Entry::default)
+            .0;
 
         let had_copy = entry.sharers.contains(requester);
-        let invalidations = entry.sharers.others(requester);
+        let invalidations = entry.sharers.without(requester);
         self.stats.invalidations_sent += invalidations.len() as u64;
 
         let source = if had_copy {
@@ -167,7 +200,10 @@ impl Directory {
             ReadSource::Memory
         } else {
             let supplier = if entry.dirty {
-                entry.owner.or_else(|| entry.sharers.first()).expect("dirty entry has an owner")
+                entry
+                    .owner
+                    .or_else(|| entry.sharers.first())
+                    .expect("dirty entry has an owner")
             } else {
                 entry.sharers.first().expect("non-empty sharer set")
             };
@@ -178,7 +214,11 @@ impl Directory {
         entry.sharers = SharerSet::singleton(requester);
         entry.owner = Some(requester);
         entry.dirty = true;
-        WriteOutcome { source, invalidations, new_state: MosiState::Modified }
+        WriteOutcome {
+            source,
+            invalidations,
+            new_state: MosiState::Modified,
+        }
     }
 
     /// Records that `tile` evicted its copy of `block`.
@@ -187,7 +227,7 @@ impl Directory {
     /// (the evicting tile was the owner of a dirty block).
     pub fn handle_eviction(&mut self, block: BlockAddr, tile: TileId) -> bool {
         self.check_tile(tile);
-        let Some(entry) = self.entries.get_mut(&block) else {
+        let Some(entry) = self.entries.get_mut(block.block_number()) else {
             return false;
         };
         let was_present = entry.sharers.remove(tile);
@@ -205,7 +245,7 @@ impl Directory {
             entry.owner = entry.sharers.first();
         }
         if entry.sharers.is_empty() {
-            self.entries.remove(&block);
+            self.entries.remove(block.block_number());
         }
         needs_writeback
     }
@@ -213,7 +253,7 @@ impl Directory {
     /// Invalidates every copy of `block` on chip (e.g. an R-NUCA page
     /// shoot-down), returning the tiles that held a copy.
     pub fn invalidate_all(&mut self, block: BlockAddr) -> Vec<TileId> {
-        match self.entries.remove(&block) {
+        match self.entries.remove(block.block_number()) {
             Some(entry) => {
                 let tiles: Vec<TileId> = entry.sharers.iter().collect();
                 self.stats.invalidations_sent += tiles.len() as u64;
@@ -252,7 +292,10 @@ mod tests {
         d.handle_read(b(1), t(0));
         let r = d.handle_read(b(1), t(3));
         assert_eq!(r.source, ReadSource::Cache(t(0)));
-        assert!(!r.downgraded_owner, "clean copy should not need a downgrade");
+        assert!(
+            !r.downgraded_owner,
+            "clean copy should not need a downgrade"
+        );
         assert_eq!(d.sharers(b(1)).len(), 2);
         assert_eq!(d.stats().forwards, 1);
     }
@@ -283,7 +326,7 @@ mod tests {
         }
         let w = d.handle_write(b(9), t(1));
         assert_eq!(w.invalidations.len(), 3);
-        assert!(!w.invalidations.contains(&t(1)));
+        assert!(!w.invalidations.contains(t(1)));
         assert_eq!(w.source, ReadSource::AlreadyPresent);
         assert_eq!(w.new_state, MosiState::Modified);
         assert_eq!(d.sharers(b(9)).len(), 1);
@@ -296,7 +339,7 @@ mod tests {
         d.handle_read(b(9), t(0));
         let w = d.handle_write(b(9), t(5));
         assert_eq!(w.source, ReadSource::Cache(t(0)));
-        assert_eq!(w.invalidations, vec![t(0)]);
+        assert_eq!(w.invalidations, SharerSet::singleton(t(0)));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! MOSI protocol vocabulary: block states and the outcomes of directory transactions.
 
+use crate::sharers::SharerSet;
 use rnuca_types::ids::TileId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -72,13 +73,18 @@ pub struct ReadOutcome {
 }
 
 /// The directory's answer to a write (or upgrade) request.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The invalidation set is a [`SharerSet`] bit-mask rather than a
+/// `Vec<TileId>`: directory writes happen on every store the private/ASR
+/// designs simulate, and a heap allocation per store was the single
+/// per-access allocation left on the simulator's hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WriteOutcome {
     /// Where the data comes from (memory, a remote cache, or already present
     /// if the requester only needed an upgrade).
     pub source: ReadSource,
     /// Tiles whose copies must be invalidated before the write can proceed.
-    pub invalidations: Vec<TileId>,
+    pub invalidations: SharerSet,
     /// The requester's resulting state (always [`MosiState::Modified`]).
     pub new_state: MosiState,
 }

@@ -65,9 +65,13 @@ impl SharerSet {
         (0..64).filter(|i| self.0 & (1 << i) != 0).map(TileId::new)
     }
 
-    /// Returns the tiles in the set other than `except`, in ascending index order.
-    pub fn others(&self, except: TileId) -> Vec<TileId> {
-        self.iter().filter(|&t| t != except).collect()
+    /// The set with `except` removed, without touching `self` — the
+    /// directory uses this on its per-store path to report "everyone but
+    /// the writer" without allocating.
+    pub fn without(&self, except: TileId) -> SharerSet {
+        let mut s = *self;
+        s.remove(except);
+        s
     }
 
     /// Returns an arbitrary (lowest-index) member, if any.
@@ -142,12 +146,19 @@ mod tests {
     }
 
     #[test]
-    fn iter_is_sorted_and_others_excludes() {
+    fn iter_is_sorted() {
         let s: SharerSet = [t(9), t(1), t(4)].into_iter().collect();
         let v: Vec<_> = s.iter().collect();
         assert_eq!(v, vec![t(1), t(4), t(9)]);
-        assert_eq!(s.others(t(4)), vec![t(1), t(9)]);
-        assert_eq!(s.others(t(7)), vec![t(1), t(4), t(9)]);
+    }
+
+    #[test]
+    fn without_excludes_only_the_given_tile() {
+        let s: SharerSet = [t(9), t(1), t(4)].into_iter().collect();
+        assert_eq!(s.without(t(4)).iter().collect::<Vec<_>>(), vec![t(1), t(9)]);
+        assert_eq!(s.without(t(7)), s, "removing a non-member changes nothing");
+        assert!(!s.without(t(4)).contains(t(4)));
+        assert_eq!(s.len(), 3, "without must not mutate the receiver");
     }
 
     #[test]

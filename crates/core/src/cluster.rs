@@ -50,13 +50,21 @@ impl Cluster {
     /// Panics if `n` is not a power of two or exceeds the tile count.
     pub fn fixed_center(center: TileId, n: usize, width: usize, height: usize) -> Self {
         let map = RotationalMap::new(n, width, height, 0);
-        Cluster { kind: ClusterKind::FixedCenter, anchor: center, members: map.cluster_members(center) }
+        Cluster {
+            kind: ClusterKind::FixedCenter,
+            anchor: center,
+            members: map.cluster_members(center),
+        }
     }
 
     /// Builds the size-`n` fixed-center cluster from an existing [`RotationalMap`]
     /// (avoids recomputing the map when building clusters for every core).
     pub fn fixed_center_from_map(center: TileId, map: &RotationalMap) -> Self {
-        Cluster { kind: ClusterKind::FixedCenter, anchor: center, members: map.cluster_members(center) }
+        Cluster {
+            kind: ClusterKind::FixedCenter,
+            anchor: center,
+            members: map.cluster_members(center),
+        }
     }
 
     /// Builds a fixed-boundary cluster covering the rectangle with corner
@@ -74,7 +82,10 @@ impl Cluster {
         height: usize,
     ) -> Self {
         assert!(w > 0 && h > 0, "fixed-boundary cluster must be non-empty");
-        assert!(x0 + w <= width && y0 + h <= height, "fixed-boundary cluster must fit on the grid");
+        assert!(
+            x0 + w <= width && y0 + h <= height,
+            "fixed-boundary cluster must fit on the grid"
+        );
         let mut members = Vec::with_capacity(w * h);
         for y in y0..y0 + h {
             for x in x0..x0 + w {
@@ -158,7 +169,10 @@ mod tests {
     fn neighbouring_fixed_center_clusters_overlap() {
         let a = Cluster::fixed_center(TileId::new(5), 4, 4, 4);
         let b = Cluster::fixed_center(TileId::new(6), 4, 4, 4);
-        assert!(a.overlaps(&b), "adjacent size-4 clusters share slices (Figure 6)");
+        assert!(
+            a.overlaps(&b),
+            "adjacent size-4 clusters share slices (Figure 6)"
+        );
     }
 
     #[test]
@@ -168,7 +182,12 @@ mod tests {
         assert_eq!(c.len(), 4);
         assert_eq!(
             c.members(),
-            &[TileId::new(0), TileId::new(1), TileId::new(4), TileId::new(5)]
+            &[
+                TileId::new(0),
+                TileId::new(1),
+                TileId::new(4),
+                TileId::new(5)
+            ]
         );
         let d = Cluster::fixed_boundary(2, 2, 2, 2, 4, 4);
         assert!(!c.overlaps(&d), "disjoint rectangles must not overlap");

@@ -107,7 +107,11 @@ impl PlacementEngine {
             config.height,
             config.rid_start,
         );
-        PlacementEngine { config, instr_map, private_map }
+        PlacementEngine {
+            config,
+            instr_map,
+            private_map,
+        }
     }
 
     /// The configuration this engine was built with.
@@ -129,7 +133,8 @@ impl PlacementEngine {
         if self.config.private_cluster_size == 1 {
             core.tile()
         } else {
-            self.private_map.home_for(core.tile(), block, self.config.sets_per_slice)
+            self.private_map
+                .home_for(core.tile(), block, self.config.sets_per_slice)
         }
     }
 
@@ -149,7 +154,8 @@ impl PlacementEngine {
     /// The slice servicing an instruction block for `core` under rotational
     /// interleaving over the core's fixed-center cluster.
     pub fn instruction_home(&self, block: BlockAddr, core: CoreId) -> TileId {
-        self.instr_map.home_for(core.tile(), block, self.config.sets_per_slice)
+        self.instr_map
+            .home_for(core.tile(), block, self.config.sets_per_slice)
     }
 
     /// Dispatches on the page classification (the single lookup the L1 miss path performs).
@@ -226,7 +232,10 @@ mod tests {
             let cluster = e.instruction_cluster(core);
             for n in 0..64u64 {
                 let home = e.place(PageClass::Instruction, b(n << 10), core);
-                assert!(cluster.contains(home), "instruction home must stay in the cluster");
+                assert!(
+                    cluster.contains(home),
+                    "instruction home must stay in the cluster"
+                );
             }
         }
     }
@@ -248,7 +257,8 @@ mod tests {
 
     #[test]
     fn cluster_size_one_keeps_instructions_local() {
-        let cfg = PlacementConfig::from_system(&SystemConfig::server_16()).with_instr_cluster_size(1);
+        let cfg =
+            PlacementConfig::from_system(&SystemConfig::server_16()).with_instr_cluster_size(1);
         let e = PlacementEngine::new(cfg);
         for c in 0..16 {
             let core = CoreId::new(c);
@@ -258,13 +268,15 @@ mod tests {
 
     #[test]
     fn cluster_size_sixteen_matches_chip_wide_interleaving_capacity() {
-        let cfg = PlacementConfig::from_system(&SystemConfig::server_16()).with_instr_cluster_size(16);
+        let cfg =
+            PlacementConfig::from_system(&SystemConfig::server_16()).with_instr_cluster_size(16);
         let e = PlacementEngine::new(cfg);
         // Every block has a single chip-wide home, like shared data.
         for n in 0..64u64 {
             let block = b(n << 10);
-            let homes: std::collections::HashSet<_> =
-                (0..16).map(|c| e.instruction_home(block, CoreId::new(c))).collect();
+            let homes: std::collections::HashSet<_> = (0..16)
+                .map(|c| e.instruction_home(block, CoreId::new(c)))
+                .collect();
             assert_eq!(homes.len(), 1);
         }
     }
@@ -273,15 +285,23 @@ mod tests {
     fn private_spill_cluster_spreads_private_data_over_neighbours() {
         // Section 4.4: heterogeneous workloads may use a fixed-center cluster
         // for private data, spilling blocks to neighbouring slices.
-        let cfg = PlacementConfig::from_system(&SystemConfig::server_16()).with_private_cluster_size(4);
+        let cfg =
+            PlacementConfig::from_system(&SystemConfig::server_16()).with_private_cluster_size(4);
         let e = PlacementEngine::new(cfg);
         let core = CoreId::new(5);
         let mut homes = std::collections::HashSet::new();
         for n in 0..256u64 {
             homes.insert(e.private_home(b(n << 10), core));
         }
-        assert_eq!(homes.len(), 4, "private data should spill over the size-4 cluster");
-        assert!(homes.contains(&core.tile()), "the local slice stays in the cluster");
+        assert_eq!(
+            homes.len(),
+            4,
+            "private data should spill over the size-4 cluster"
+        );
+        assert!(
+            homes.contains(&core.tile()),
+            "the local slice stays in the cluster"
+        );
         // The default configuration keeps private data strictly local.
         let default_engine = engine();
         for n in 0..64u64 {

@@ -37,7 +37,10 @@ use rnuca_types::ids::{RotationalId, TileId};
 ///
 /// Panics if `n` is not a power of two.
 pub fn rotational_index(addr_bits: u64, rid: RotationalId, n: usize) -> usize {
-    assert!(n.is_power_of_two(), "cluster size must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "cluster size must be a power of two, got {n}"
+    );
     ((addr_bits as usize) + rid.value() + 1) & (n - 1)
 }
 
@@ -116,7 +119,10 @@ impl RotationalMap {
     /// Panics if `n` is not a power of two, exceeds the tile count, or the
     /// grid is degenerate.
     pub fn new(n: usize, width: usize, height: usize, rid_start: usize) -> Self {
-        assert!(n.is_power_of_two(), "cluster size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "cluster size must be a power of two, got {n}"
+        );
         assert!(width > 0 && height > 0, "grid dimensions must be non-zero");
         let tiles = width * height;
         assert!(n <= tiles, "cluster size {n} exceeds tile count {tiles}");
@@ -147,7 +153,14 @@ impl RotationalMap {
                 home.push(slice);
             }
         }
-        RotationalMap { n, width, height, rid_start, labels, home }
+        RotationalMap {
+            n,
+            width,
+            height,
+            rid_start,
+            labels,
+            home,
+        }
     }
 
     /// The cluster size this map was built for.
@@ -190,8 +203,9 @@ impl RotationalMap {
     /// The members of the fixed-center cluster of `tile`: the servicing slices
     /// of all `n` residues, i.e. the slices this core ever reads instructions from.
     pub fn cluster_members(&self, tile: TileId) -> Vec<TileId> {
-        let mut members: Vec<TileId> =
-            (0..self.n).map(|r| self.home_for_residue(tile, r)).collect();
+        let mut members: Vec<TileId> = (0..self.n)
+            .map(|r| self.home_for_residue(tile, r))
+            .collect();
         members.sort();
         members.dedup();
         members
@@ -375,9 +389,14 @@ mod tests {
         }
         // Each residue has exactly one home chip-wide.
         for residue in 0..16 {
-            let homes: std::collections::HashSet<_> =
-                (0..16).map(|t| map.home_for_residue(TileId::new(t), residue)).collect();
-            assert_eq!(homes.len(), 1, "residue {residue} must have a unique chip-wide home");
+            let homes: std::collections::HashSet<_> = (0..16)
+                .map(|t| map.home_for_residue(TileId::new(t), residue))
+                .collect();
+            assert_eq!(
+                homes.len(),
+                1,
+                "residue {residue} must have a unique chip-wide home"
+            );
         }
     }
 

@@ -157,14 +157,19 @@ mod tests {
     #[test]
     fn controller_count_matches_table1() {
         assert_eq!(server_mem().num_controllers(), 4);
-        assert_eq!(MemorySystem::new(&SystemConfig::desktop_8()).num_controllers(), 2);
+        assert_eq!(
+            MemorySystem::new(&SystemConfig::desktop_8()).num_controllers(),
+            2
+        );
     }
 
     #[test]
     fn pages_interleave_round_robin() {
         let mem = server_mem();
         let page = 8192u64;
-        let ids: Vec<_> = (0..8).map(|i| mem.controller_for(PhysAddr::new(i * page)).index()).collect();
+        let ids: Vec<_> = (0..8)
+            .map(|i| mem.controller_for(PhysAddr::new(i * page)).index())
+            .collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 0, 1, 2, 3]);
         // Addresses within the same page use the same controller.
         assert_eq!(
@@ -176,7 +181,9 @@ mod tests {
     #[test]
     fn controller_tiles_are_spread_across_the_die() {
         let mem = server_mem();
-        let tiles: Vec<_> = (0..4).map(|i| mem.controller_tile(MemCtrlId::new(i)).index()).collect();
+        let tiles: Vec<_> = (0..4)
+            .map(|i| mem.controller_tile(MemCtrlId::new(i)).index())
+            .collect();
         assert_eq!(tiles, vec![0, 4, 8, 12]);
         assert_eq!(mem.exit_tile_for(PhysAddr::new(8192)).index(), 4);
     }

@@ -75,13 +75,22 @@ pub struct Message {
 impl Message {
     /// Convenience constructor.
     pub fn new(src: TileId, dst: TileId, kind: MessageKind, block: BlockAddr) -> Self {
-        Message { src, dst, kind, block }
+        Message {
+            src,
+            dst,
+            kind,
+            block,
+        }
     }
 }
 
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} {} {}", self.src, self.dst, self.kind, self.block)
+        write!(
+            f,
+            "{} -> {} {} {}",
+            self.src, self.dst, self.kind, self.block
+        )
     }
 }
 

@@ -24,7 +24,12 @@ pub struct Network {
 impl Network {
     /// Creates a network with the given topology and parameters.
     pub fn new(topology: Topology, config: NocConfig) -> Self {
-        Network { topology, config, stats: TrafficStats::new(), record_traffic: false }
+        Network {
+            topology,
+            config,
+            stats: TrafficStats::new(),
+            record_traffic: false,
+        }
     }
 
     /// Enables per-link traffic recording (adds a route computation per message).
@@ -45,7 +50,8 @@ impl Network {
 
     /// Hop count between two tiles.
     pub fn hops(&self, from: TileId, to: TileId) -> u32 {
-        self.topology.hops(from, to, self.config.width, self.config.height)
+        self.topology
+            .hops(from, to, self.config.width, self.config.height)
     }
 
     /// One-way latency of a control message (head flit only) between two tiles.
@@ -141,23 +147,35 @@ mod tests {
     #[test]
     fn zero_hop_latency_is_zero() {
         let net = server_net();
-        assert_eq!(net.control_latency(TileId::new(3), TileId::new(3)), Cycles::ZERO);
+        assert_eq!(
+            net.control_latency(TileId::new(3), TileId::new(3)),
+            Cycles::ZERO
+        );
     }
 
     #[test]
     fn control_latency_is_hops_times_three() {
         let net = server_net();
         // 1 hop = 1 link + 2 router = 3 cycles; control message fits in one flit.
-        assert_eq!(net.control_latency(TileId::new(0), TileId::new(1)), Cycles(3));
+        assert_eq!(
+            net.control_latency(TileId::new(0), TileId::new(1)),
+            Cycles(3)
+        );
         // Tile 10 at (2,2) is the antipode of tile 0: 4 hops = 12 cycles.
-        assert_eq!(net.control_latency(TileId::new(0), TileId::new(10)), Cycles(12));
+        assert_eq!(
+            net.control_latency(TileId::new(0), TileId::new(10)),
+            Cycles(12)
+        );
     }
 
     #[test]
     fn data_latency_adds_serialization() {
         let net = server_net();
         // 64B block + 8B header = 72B over 32B links = 3 flits -> +2 cycles.
-        assert_eq!(net.data_latency(TileId::new(0), TileId::new(1), 64), Cycles(5));
+        assert_eq!(
+            net.data_latency(TileId::new(0), TileId::new(1), 64),
+            Cycles(5)
+        );
     }
 
     #[test]
@@ -203,7 +221,12 @@ mod tests {
     #[test]
     fn average_hops_to_a_cluster() {
         let net = server_net();
-        let neighbours = [TileId::new(1), TileId::new(4), TileId::new(3), TileId::new(12)];
+        let neighbours = [
+            TileId::new(1),
+            TileId::new(4),
+            TileId::new(3),
+            TileId::new(12),
+        ];
         // All four listed tiles are one hop from tile 0 on the torus.
         assert!((net.average_hops_to(TileId::new(0), &neighbours) - 1.0).abs() < 1e-12);
         assert_eq!(net.average_hops_to(TileId::new(0), &[]), 0.0);

@@ -78,8 +78,8 @@ impl TrafficStats {
             return None;
         }
         let max = self.flits_per_link.values().copied().max().unwrap_or(0) as f64;
-        let mean =
-            self.flits_per_link.values().copied().sum::<u64>() as f64 / self.flits_per_link.len() as f64;
+        let mean = self.flits_per_link.values().copied().sum::<u64>() as f64
+            / self.flits_per_link.len() as f64;
         if mean == 0.0 {
             None
         } else {

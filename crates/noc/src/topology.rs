@@ -170,7 +170,11 @@ mod tests {
                     let route = topo.route(from, to, W, H);
                     assert_eq!(route.first().copied(), Some(from));
                     assert_eq!(route.last().copied(), Some(to));
-                    assert_eq!(route.len() as u32 - 1, topo.hops(from, to, W, H), "{topo} {a}->{b}");
+                    assert_eq!(
+                        route.len() as u32 - 1,
+                        topo.hops(from, to, W, H),
+                        "{topo} {a}->{b}"
+                    );
                     // Each step moves exactly one hop.
                     for pair in route.windows(2) {
                         assert_eq!(topo.hops(pair[0], pair[1], W, H), 1);

@@ -7,7 +7,7 @@
 //! the page while the previous owner's TLB entry and cached blocks are shot
 //! down. Instruction fetches are classified immediately as instructions.
 
-use crate::page_table::{PageClass, PageTable};
+use crate::page_table::{PageClass, PageTable, PageUpdate};
 use crate::tlb::Tlb;
 use rnuca_types::addr::PageAddr;
 use rnuca_types::ids::CoreId;
@@ -132,66 +132,82 @@ impl OsClassifier {
     /// `is_instruction` marks requests originating from the L1 instruction
     /// cache, which Section 4.3 classifies immediately as instruction
     /// accesses.
-    pub fn access(&mut self, page: PageAddr, core: CoreId, is_instruction: bool) -> ClassificationOutcome {
+    pub fn access(
+        &mut self,
+        page: PageAddr,
+        core: CoreId,
+        is_instruction: bool,
+    ) -> ClassificationOutcome {
         assert!(core.index() < self.tlbs.len(), "core {core} out of range");
 
         // 1. TLB lookup.
         if let Some(class) = self.tlbs[core.index()].lookup(page) {
             self.stats.tlb_hits += 1;
-            return ClassificationOutcome { class, event: ClassificationEvent::TlbHit };
+            return ClassificationOutcome {
+                class,
+                event: ClassificationEvent::TlbHit,
+            };
         }
         self.stats.tlb_misses += 1;
 
-        // 2. Trap to the OS: consult the page table.
-        let Some(info) = self.page_table.get(page).copied() else {
-            // First touch.
-            self.stats.first_touches += 1;
-            let info = self.page_table.first_touch(page, core, is_instruction);
-            self.tlbs[core.index()].fill(page, info.class);
-            return ClassificationOutcome { class: info.class, event: ClassificationEvent::FirstTouch };
-        };
-
-        match info.class {
-            PageClass::Shared | PageClass::Instruction => {
-                self.tlbs[core.index()].fill(page, info.class);
-                ClassificationOutcome { class: info.class, event: ClassificationEvent::PageTableHit }
+        // 2. Trap to the OS: one page-table probe performs the whole
+        // touch/classify/update transition (the poison window of Section 4.3
+        // opens and closes inside it — the trace-driven model completes the
+        // shoot-down atomically within the access).
+        let migrations = &self.pending_migrations;
+        let update = self
+            .page_table
+            .classify_and_update(page, core, is_instruction, |prev| {
+                migrations.contains(&(prev, core))
+            });
+        let (outcome, shootdown_target) = match update {
+            PageUpdate::FirstTouch(info) => {
+                self.stats.first_touches += 1;
+                let outcome = ClassificationOutcome {
+                    class: info.class,
+                    event: ClassificationEvent::FirstTouch,
+                };
+                (outcome, None)
             }
-            PageClass::Private if info.owner == core => {
-                self.tlbs[core.index()].fill(page, PageClass::Private);
-                ClassificationOutcome {
-                    class: PageClass::Private,
+            PageUpdate::Consistent(info) => {
+                let outcome = ClassificationOutcome {
+                    class: info.class,
                     event: ClassificationEvent::PageTableHit,
-                }
+                };
+                (outcome, None)
             }
-            PageClass::Private => {
-                let previous_owner = info.owner;
-                // Poison the page while the previous accessor is shot down.
-                self.page_table.poison(page);
-                let shot = self.tlbs[previous_owner.index()].shootdown(page);
-                if shot {
-                    self.stats.shootdowns += 1;
-                }
-                if self.pending_migrations.contains(&(previous_owner, core)) {
-                    // Thread migration: the page stays private, ownership moves.
-                    self.stats.owner_migrations += 1;
-                    self.page_table.migrate_owner(page, core);
-                    self.tlbs[core.index()].fill(page, PageClass::Private);
-                    ClassificationOutcome {
-                        class: PageClass::Private,
-                        event: ClassificationEvent::OwnerMigrated { previous_owner },
-                    }
-                } else {
-                    // Genuine sharing: re-classify as shared.
-                    self.stats.reclassifications += 1;
-                    self.page_table.complete_reclassification(page);
-                    self.tlbs[core.index()].fill(page, PageClass::Shared);
-                    ClassificationOutcome {
-                        class: PageClass::Shared,
-                        event: ClassificationEvent::Reclassified { previous_owner },
-                    }
-                }
+            PageUpdate::OwnerMigrated {
+                previous_owner,
+                info,
+            } => {
+                // Thread migration: the page stays private, ownership moves.
+                self.stats.owner_migrations += 1;
+                let outcome = ClassificationOutcome {
+                    class: info.class,
+                    event: ClassificationEvent::OwnerMigrated { previous_owner },
+                };
+                (outcome, Some(previous_owner))
+            }
+            PageUpdate::Reclassified {
+                previous_owner,
+                info,
+            } => {
+                // Genuine sharing: re-classified as shared.
+                self.stats.reclassifications += 1;
+                let outcome = ClassificationOutcome {
+                    class: info.class,
+                    event: ClassificationEvent::Reclassified { previous_owner },
+                };
+                (outcome, Some(previous_owner))
+            }
+        };
+        if let Some(previous_owner) = shootdown_target {
+            if self.tlbs[previous_owner.index()].shootdown(page) {
+                self.stats.shootdowns += 1;
             }
         }
+        self.tlbs[core.index()].fill(page, outcome.class);
+        outcome
     }
 }
 
@@ -232,7 +248,12 @@ mod tests {
         os.access(p(1), c(0), false);
         let out = os.access(p(1), c(2), false);
         assert_eq!(out.class, PageClass::Shared);
-        assert_eq!(out.event, ClassificationEvent::Reclassified { previous_owner: c(0) });
+        assert_eq!(
+            out.event,
+            ClassificationEvent::Reclassified {
+                previous_owner: c(0)
+            }
+        );
         assert_eq!(os.stats().reclassifications, 1);
         assert_eq!(os.stats().shootdowns, 1);
         // Page table now says shared for everyone, including the original owner.
@@ -273,11 +294,19 @@ mod tests {
         os.note_thread_migration(c(0), c(3));
         let out = os.access(p(5), c(3), false);
         assert_eq!(out.class, PageClass::Private);
-        assert_eq!(out.event, ClassificationEvent::OwnerMigrated { previous_owner: c(0) });
+        assert_eq!(
+            out.event,
+            ClassificationEvent::OwnerMigrated {
+                previous_owner: c(0)
+            }
+        );
         assert_eq!(os.stats().owner_migrations, 1);
         assert_eq!(os.stats().reclassifications, 0);
         // The new owner now hits in its TLB.
-        assert_eq!(os.access(p(5), c(3), false).event, ClassificationEvent::TlbHit);
+        assert_eq!(
+            os.access(p(5), c(3), false).event,
+            ClassificationEvent::TlbHit
+        );
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub mod rid;
 pub mod tlb;
 
 pub use classifier::{ClassificationEvent, ClassificationOutcome, OsClassifier, OsStats};
-pub use page_table::{PageClass, PageInfo, PageTable};
+pub use page_table::{PageClass, PageInfo, PageTable, PageUpdate};
 pub use rid::{rid_assignment, rid_for_tile};
 pub use tlb::Tlb;

@@ -22,7 +22,10 @@ use rnuca_types::ids::{RotationalId, TileId};
 ///
 /// Panics if `n` is not a power of two or `width` is zero.
 pub fn rid_for_tile(tile: TileId, n: usize, width: usize, start: usize) -> RotationalId {
-    assert!(n.is_power_of_two(), "cluster size must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "cluster size must be a power of two, got {n}"
+    );
     assert!(width > 0, "grid width must be non-zero");
     if n == 1 {
         return RotationalId::new(0);

@@ -107,7 +107,10 @@ impl CpiBreakdown {
 
     /// Returns this breakdown with every component divided by `denominator`.
     pub fn scaled(&self, denominator: f64) -> CpiBreakdown {
-        assert!(denominator > 0.0, "cannot normalise by a non-positive denominator");
+        assert!(
+            denominator > 0.0,
+            "cannot normalise by a non-positive denominator"
+        );
         CpiBreakdown {
             busy: self.busy / denominator,
             l1_to_l1: self.l1_to_l1 / denominator,
@@ -177,7 +180,10 @@ impl DetailedCpi {
     /// Returns this detail with every field divided by `denominator`
     /// (used to convert accumulated cycles into per-instruction values).
     pub fn scaled(&self, denominator: f64) -> DetailedCpi {
-        assert!(denominator > 0.0, "cannot normalise by a non-positive denominator");
+        assert!(
+            denominator > 0.0,
+            "cannot normalise by a non-positive denominator"
+        );
         DetailedCpi {
             breakdown: self.breakdown.scaled(denominator),
             l2_private_data: self.l2_private_data / denominator,

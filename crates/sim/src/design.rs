@@ -60,14 +60,18 @@ pub enum LlcDesign {
 impl LlcDesign {
     /// The paper's default R-NUCA configuration (size-4 instruction clusters).
     pub fn rnuca_default() -> Self {
-        LlcDesign::RNuca { instr_cluster_size: 4 }
+        LlcDesign::RNuca {
+            instr_cluster_size: 4,
+        }
     }
 
     /// The four real designs of Figure 7 (P, A, S, R) in the paper's order.
     pub fn evaluation_set() -> Vec<LlcDesign> {
         vec![
             LlcDesign::Private,
-            LlcDesign::Asr { policy: AsrPolicy::Adaptive },
+            LlcDesign::Asr {
+                policy: AsrPolicy::Adaptive,
+            },
             LlcDesign::Shared,
             LlcDesign::rnuca_default(),
         ]
@@ -120,14 +124,20 @@ mod tests {
         let set = LlcDesign::evaluation_set();
         let letters: Vec<_> = set.iter().map(LlcDesign::letter).collect();
         assert_eq!(letters, vec!["P", "A", "S", "R"]);
-        let speedup: Vec<_> = LlcDesign::speedup_set().iter().map(LlcDesign::letter).collect();
+        let speedup: Vec<_> = LlcDesign::speedup_set()
+            .iter()
+            .map(LlcDesign::letter)
+            .collect();
         assert_eq!(speedup, vec!["P", "A", "S", "R", "I"]);
     }
 
     #[test]
     fn coherence_requirements() {
         assert!(LlcDesign::Private.needs_l2_coherence());
-        assert!(LlcDesign::Asr { policy: AsrPolicy::Static(0.5) }.needs_l2_coherence());
+        assert!(LlcDesign::Asr {
+            policy: AsrPolicy::Static(0.5)
+        }
+        .needs_l2_coherence());
         assert!(!LlcDesign::Shared.needs_l2_coherence());
         assert!(!LlcDesign::rnuca_default().needs_l2_coherence());
         assert!(!LlcDesign::Ideal.needs_l2_coherence());
@@ -144,8 +154,15 @@ mod tests {
     #[test]
     fn display_strings() {
         assert_eq!(LlcDesign::Private.to_string(), "private");
-        assert_eq!(LlcDesign::rnuca_default().to_string(), "R-NUCA (size-4 instruction clusters)");
+        assert_eq!(
+            LlcDesign::rnuca_default().to_string(),
+            "R-NUCA (size-4 instruction clusters)"
+        );
         assert_eq!(AsrPolicy::Static(0.25).to_string(), "static p=0.25");
-        assert!(LlcDesign::Asr { policy: AsrPolicy::Adaptive }.to_string().contains("adaptive"));
+        assert!(LlcDesign::Asr {
+            policy: AsrPolicy::Adaptive
+        }
+        .to_string()
+        .contains("adaptive"));
     }
 }

@@ -23,7 +23,9 @@ pub struct ExperimentEngine {
 impl ExperimentEngine {
     /// An engine sized to the machine's available parallelism.
     pub fn new() -> Self {
-        ExperimentEngine { workers: default_workers() }
+        ExperimentEngine {
+            workers: default_workers(),
+        }
     }
 
     /// An engine with an explicit worker count (clamped to at least one).
@@ -31,7 +33,9 @@ impl ExperimentEngine {
     /// Results do not depend on the worker count; use this to bound CPU and
     /// memory pressure, or `with_workers(1)` for fully serial debugging runs.
     pub fn with_workers(workers: usize) -> Self {
-        ExperimentEngine { workers: workers.max(1) }
+        ExperimentEngine {
+            workers: workers.max(1),
+        }
     }
 
     /// The number of workers this engine runs.
@@ -91,7 +95,9 @@ impl Default for ExperimentEngine {
 
 /// The machine's available parallelism (1 if it cannot be determined).
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

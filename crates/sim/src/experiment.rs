@@ -36,18 +36,33 @@ impl ExperimentConfig {
     /// The configuration used by the figure harness: long enough runs for
     /// stable occupancy in every slice.
     pub fn full() -> Self {
-        ExperimentConfig { warmup_refs: 600_000, measured_refs: 300_000, seed: 42, asr_best_of: true }
+        ExperimentConfig {
+            warmup_refs: 600_000,
+            measured_refs: 300_000,
+            seed: 42,
+            asr_best_of: true,
+        }
     }
 
     /// A much smaller configuration for unit tests and Criterion benches.
     pub fn quick() -> Self {
-        ExperimentConfig { warmup_refs: 30_000, measured_refs: 20_000, seed: 42, asr_best_of: false }
+        ExperimentConfig {
+            warmup_refs: 30_000,
+            measured_refs: 20_000,
+            seed: 42,
+            asr_best_of: false,
+        }
     }
 
     /// A tiny configuration for CI smoke runs: just enough references to
     /// exercise every code path of the harness without meaningful occupancy.
     pub fn smoke() -> Self {
-        ExperimentConfig { warmup_refs: 2_000, measured_refs: 1_500, seed: 42, asr_best_of: false }
+        ExperimentConfig {
+            warmup_refs: 2_000,
+            measured_refs: 1_500,
+            seed: 42,
+            asr_best_of: false,
+        }
     }
 }
 
@@ -105,19 +120,26 @@ impl WorkloadResults {
     ///
     /// Panics if the private design was not part of the run.
     pub fn private_baseline(&self) -> &RunResult {
-        self.by_letter("P").expect("evaluation always includes the private design")
+        self.by_letter("P")
+            .expect("evaluation always includes the private design")
     }
 
     /// Speedups of every design over the private baseline (Figure 12).
     pub fn speedups_over_private(&self) -> Vec<(LlcDesign, f64)> {
         let baseline = self.private_baseline();
-        self.results.iter().map(|r| (r.design, r.speedup_over(baseline))).collect()
+        self.results
+            .iter()
+            .map(|r| (r.design, r.speedup_over(baseline)))
+            .collect()
     }
 
     /// CPI of every design normalised to the private design's total CPI (Figures 7-10).
     pub fn normalized_total_cpi(&self) -> Vec<(LlcDesign, f64)> {
         let base = self.private_baseline().total_cpi();
-        self.results.iter().map(|r| (r.design, r.total_cpi() / base)).collect()
+        self.results
+            .iter()
+            .map(|r| (r.design, r.total_cpi() / base))
+            .collect()
     }
 }
 
@@ -139,16 +161,25 @@ impl DesignComparison {
         let mut sim = CmpSimulator::with_seed(design, spec, cfg.seed);
         sim.run_warmup(&mut gen, cfg.warmup_refs);
         let run = sim.run_measured(&mut gen, cfg.measured_refs);
-        RunResult { workload: spec.name.clone(), design, run }
+        RunResult {
+            workload: spec.name.clone(),
+            design,
+            run,
+        }
     }
 
     /// The ASR design variants one workload must run: the six versions when
     /// `asr_best_of` is set, the adaptive version alone otherwise.
     fn asr_variants(cfg: &ExperimentConfig) -> Vec<LlcDesign> {
         if cfg.asr_best_of {
-            AsrPolicy::all_versions().into_iter().map(|policy| LlcDesign::Asr { policy }).collect()
+            AsrPolicy::all_versions()
+                .into_iter()
+                .map(|policy| LlcDesign::Asr { policy })
+                .collect()
         } else {
-            vec![LlcDesign::Asr { policy: AsrPolicy::Adaptive }]
+            vec![LlcDesign::Asr {
+                policy: AsrPolicy::Adaptive,
+            }]
         }
     }
 
@@ -239,8 +270,9 @@ impl DesignComparison {
                     ])
             })
             .collect();
-        let results =
-            engine.run(&jobs, |_, &(i, design)| Self::run_single(&specs[i], design, cfg));
+        let results = engine.run(&jobs, |_, &(i, design)| {
+            Self::run_single(&specs[i], design, cfg)
+        });
 
         let mut results = results.into_iter();
         let workloads = specs
@@ -283,17 +315,28 @@ impl DesignComparison {
             .iter()
             .enumerate()
             .flat_map(|(i, spec)| {
-                sizes.iter().copied().filter(|&s| s <= spec.num_cores()).map(move |s| (i, s))
+                sizes
+                    .iter()
+                    .copied()
+                    .filter(|&s| s <= spec.num_cores())
+                    .map(move |s| (i, s))
             })
             .collect();
         let results = engine.run(&jobs, |_, &(i, size)| {
-            let r =
-                Self::run_single(&specs[i], LlcDesign::RNuca { instr_cluster_size: size }, cfg);
+            let r = Self::run_single(
+                &specs[i],
+                LlcDesign::RNuca {
+                    instr_cluster_size: size,
+                },
+                cfg,
+            );
             (size, r.run)
         });
 
-        let mut rows: Vec<(String, Vec<(usize, MeasuredRun)>)> =
-            specs.iter().map(|spec| (spec.name.clone(), Vec::new())).collect();
+        let mut rows: Vec<(String, Vec<(usize, MeasuredRun)>)> = specs
+            .iter()
+            .map(|spec| (spec.name.clone(), Vec::new()))
+            .collect();
         for (&(i, _), row) in jobs.iter().zip(results) {
             rows[i].1.push(row);
         }
@@ -385,8 +428,13 @@ mod tests {
         cfg.measured_refs = 8_000;
         let best = DesignComparison::run_asr(&spec, &cfg);
         // The best-of result can be no slower than the adaptive version alone.
-        let adaptive =
-            DesignComparison::run_single(&spec, LlcDesign::Asr { policy: AsrPolicy::Adaptive }, &cfg);
+        let adaptive = DesignComparison::run_single(
+            &spec,
+            LlcDesign::Asr {
+                policy: AsrPolicy::Adaptive,
+            },
+            &cfg,
+        );
         assert!(best.total_cpi() <= adaptive.total_cpi() + 1e-9);
     }
 
@@ -410,8 +458,10 @@ mod tests {
         cfg.warmup_refs = 5_000;
         cfg.measured_refs = 4_000;
         cfg.asr_best_of = true; // exercise the flattened best-of-six jobs
-        let serial = DesignComparison::run_evaluation_with(&cfg, &ExperimentEngine::with_workers(1));
-        let pooled = DesignComparison::run_evaluation_with(&cfg, &ExperimentEngine::with_workers(8));
+        let serial =
+            DesignComparison::run_evaluation_with(&cfg, &ExperimentEngine::with_workers(1));
+        let pooled =
+            DesignComparison::run_evaluation_with(&cfg, &ExperimentEngine::with_workers(8));
         assert_eq!(serial, pooled);
     }
 
@@ -420,10 +470,16 @@ mod tests {
         let mut cfg = ExperimentConfig::quick();
         cfg.warmup_refs = 3_000;
         cfg.measured_refs = 2_000;
-        let serial =
-            DesignComparison::run_cluster_sweep_with(&cfg, &[1, 4], &ExperimentEngine::with_workers(1));
-        let pooled =
-            DesignComparison::run_cluster_sweep_with(&cfg, &[1, 4], &ExperimentEngine::with_workers(6));
+        let serial = DesignComparison::run_cluster_sweep_with(
+            &cfg,
+            &[1, 4],
+            &ExperimentEngine::with_workers(1),
+        );
+        let pooled = DesignComparison::run_cluster_sweep_with(
+            &cfg,
+            &[1, 4],
+            &ExperimentEngine::with_workers(6),
+        );
         assert_eq!(serial, pooled);
     }
 

@@ -163,7 +163,9 @@ impl ScenarioMatrix {
                                     }
                                     jobs.push(ScenarioJob {
                                         workload: workload.clone(),
-                                        design: LlcDesign::RNuca { instr_cluster_size: size },
+                                        design: LlcDesign::RNuca {
+                                            instr_cluster_size: size,
+                                        },
                                         point: ConfigPoint {
                                             instr_cluster_size: Some(size),
                                             ..system_point
@@ -213,7 +215,10 @@ impl ScenarioMatrix {
                 run: r.run,
             }
         });
-        Ok(ScenarioSweep { cfg: self.cfg, results })
+        Ok(ScenarioSweep {
+            cfg: self.cfg,
+            results,
+        })
     }
 }
 
@@ -260,7 +265,11 @@ impl ScenarioSweep {
                 r.run.off_chip_rate,
                 r.run.l1_to_l1_rate,
             ));
-            out.push_str(if i + 1 < self.results.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         out.push_str("  ]\n}\n");
         out

@@ -24,9 +24,9 @@ use rnuca_types::access::{AccessClass, MemoryAccess};
 use rnuca_types::addr::BlockAddr;
 use rnuca_types::config::{CacheGeometry, SystemConfig};
 use rnuca_types::ids::{CoreId, TileId};
+use rnuca_types::index_map::U64Map;
 use rnuca_workloads::{TraceGenerator, WorkloadSpec};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// How long (in L2 references) a dirty block is assumed to stay in its writer's L1.
 const L1_RESIDENCY_WINDOW: u64 = 64_000;
@@ -52,6 +52,12 @@ const SIM_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 /// design-independent cost mirrors that while still letting stores update
 /// cache and coherence state.
 const STORE_COST: u64 = 14;
+/// References generated per batch by [`CmpSimulator::drive`]: large enough
+/// to amortise the generator call overhead, small enough to stay cache-hot.
+const TRACE_BATCH: usize = 4_096;
+/// Entries the dirty-block tracker pre-sizes for; past this it grows by
+/// doubling (the periodic sweep bounds it to two residency windows).
+const L1_DIRTY_INITIAL_CAPACITY: usize = 16_384;
 
 /// The per-run results returned by [`CmpSimulator::run_measured`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -100,8 +106,12 @@ pub struct CmpSimulator {
     os: OsClassifier,
     placement: PlacementEngine,
     l2_directory: Directory,
-    l1_dirty: HashMap<BlockAddr, L1DirtyEntry>,
+    /// Dirty-in-some-L1 tracking, keyed by block number (open-addressed —
+    /// this map is probed on every single reference).
+    l1_dirty: U64Map<L1DirtyEntry>,
     ideal_cache: Option<CacheArray<BlockMeta>>,
+    /// Reusable batch buffer for trace generation (see [`Self::drive`]).
+    trace_buf: Vec<MemoryAccess>,
     rng: StdRng,
     // ASR adaptive controller state.
     asr_probability: f64,
@@ -144,8 +154,12 @@ impl CmpSimulator {
             _ => PlacementConfig::from_system(&config),
         };
         let (asr_probability, asr_adaptive) = match design {
-            LlcDesign::Asr { policy: AsrPolicy::Static(p) } => (p, false),
-            LlcDesign::Asr { policy: AsrPolicy::Adaptive } => (0.5, true),
+            LlcDesign::Asr {
+                policy: AsrPolicy::Static(p),
+            } => (p, false),
+            LlcDesign::Asr {
+                policy: AsrPolicy::Adaptive,
+            } => (0.5, true),
             _ => (1.0, false),
         };
         let ideal_cache = match design {
@@ -166,13 +180,16 @@ impl CmpSimulator {
             busy_cpi: spec.busy_cpi,
             instr_per_ref: spec.instructions_per_l2_ref(),
             network: Network::new(Topology::FoldedTorus, config.torus),
-            tiles: (0..config.num_tiles()).map(|i| Tile::new(TileId::new(i), &config)).collect(),
+            tiles: (0..config.num_tiles())
+                .map(|i| Tile::new(TileId::new(i), &config))
+                .collect(),
             mem: MemorySystem::new(&config),
             os: OsClassifier::new(config.num_cores, 512),
             placement: PlacementEngine::new(placement_config),
             l2_directory: Directory::new(config.num_tiles()),
-            l1_dirty: HashMap::new(),
+            l1_dirty: U64Map::with_capacity(L1_DIRTY_INITIAL_CAPACITY),
             ideal_cache,
+            trace_buf: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ SIM_SEED_SALT),
             asr_probability,
             asr_adaptive,
@@ -217,10 +234,26 @@ impl CmpSimulator {
     /// page-table warm-up, mirroring the paper's warmed checkpoints).
     pub fn run_warmup(&mut self, gen: &mut TraceGenerator, n: usize) {
         self.measuring = false;
-        for _ in 0..n {
-            let access = gen.next_access();
-            self.step(&access);
+        self.drive(gen, n);
+    }
+
+    /// Feeds `n` references from `gen` through [`Self::step`], generating
+    /// them in batches into a buffer reused across calls and windows, so the
+    /// run loop performs no per-access (or even per-batch) allocation. The
+    /// access sequence is identical to calling `gen.next_access()` `n`
+    /// times — the generator does not depend on simulator state.
+    fn drive(&mut self, gen: &mut TraceGenerator, n: usize) {
+        let mut buf = std::mem::take(&mut self.trace_buf);
+        let mut remaining = n;
+        while remaining > 0 {
+            let batch = remaining.min(TRACE_BATCH);
+            gen.generate_into(batch, &mut buf);
+            for access in &buf {
+                self.step(access);
+            }
+            remaining -= batch;
         }
+        self.trace_buf = buf;
     }
 
     /// Runs `n` references from `gen` with statistics recording and returns the results.
@@ -247,10 +280,7 @@ impl CmpSimulator {
         self.misclassified = 0;
         self.classified = 0;
         self.reclassifications = 0;
-        for _ in 0..n {
-            let access = gen.next_access();
-            self.step(&access);
-        }
+        self.drive(gen, n);
         self.results()
     }
 
@@ -313,7 +343,9 @@ impl CmpSimulator {
     }
 
     fn data(&self, from: TileId, to: TileId) -> u64 {
-        self.network.data_latency(from, to, self.block_bytes()).value()
+        self.network
+            .data_latency(from, to, self.block_bytes())
+            .value()
     }
 
     fn charge(&mut self, cycles: u64, component: CpiComponent) {
@@ -345,12 +377,14 @@ impl CmpSimulator {
 
     fn l1_dirty_owner(&mut self, block: BlockAddr, requester: CoreId) -> Option<CoreId> {
         let stamp = self.clock;
-        match self.l1_dirty.get(&block) {
-            Some(e) if e.owner != requester && stamp.saturating_sub(e.stamp) < L1_RESIDENCY_WINDOW => {
+        match self.l1_dirty.get(block.block_number()) {
+            Some(e)
+                if e.owner != requester && stamp.saturating_sub(e.stamp) < L1_RESIDENCY_WINDOW =>
+            {
                 Some(e.owner)
             }
             Some(e) if stamp.saturating_sub(e.stamp) >= L1_RESIDENCY_WINDOW => {
-                self.l1_dirty.remove(&block);
+                self.l1_dirty.remove(block.block_number());
                 None
             }
             _ => None,
@@ -358,11 +392,17 @@ impl CmpSimulator {
     }
 
     fn note_write(&mut self, block: BlockAddr, writer: CoreId) {
-        self.l1_dirty.insert(block, L1DirtyEntry { owner: writer, stamp: self.clock });
+        self.l1_dirty.insert(
+            block.block_number(),
+            L1DirtyEntry {
+                owner: writer,
+                stamp: self.clock,
+            },
+        );
     }
 
     fn clear_dirty(&mut self, block: BlockAddr) {
-        self.l1_dirty.remove(&block);
+        self.l1_dirty.remove(block.block_number());
     }
 
     /// Drops every dirty-tracking entry whose residency window has expired.
@@ -375,7 +415,20 @@ impl CmpSimulator {
     /// last two windows without changing any simulation outcome.
     fn sweep_expired_l1_dirty(&mut self) {
         let clock = self.clock;
-        self.l1_dirty.retain(|_, e| clock.saturating_sub(e.stamp) < L1_RESIDENCY_WINDOW);
+        self.l1_dirty
+            .retain(|_, e| clock.saturating_sub(e.stamp) < L1_RESIDENCY_WINDOW);
+    }
+
+    /// Drops the dirty-tracking entries of every block in `page` (an R-NUCA
+    /// shoot-down). A page holds a fixed, small number of blocks, so this is
+    /// a handful of O(1) removals instead of the full-map `retain` scan the
+    /// `HashMap`-backed version performed per re-classification.
+    fn clear_dirty_page(&mut self, page: rnuca_types::addr::PageAddr) {
+        let block_bytes = self.config.l2_slice.geometry.block_bytes;
+        let page_bytes = self.config.memory.page_bytes;
+        for block in page.blocks(block_bytes, page_bytes) {
+            self.l1_dirty.remove(block.block_number());
+        }
     }
 
     /// Number of blocks currently tracked as dirty in some L1 (diagnostics).
@@ -388,8 +441,15 @@ impl CmpSimulator {
     fn step_ideal(&mut self, access: &MemoryAccess) {
         let block = access.addr.block(self.block_bytes());
         let page = access.addr.page(self.config.memory.page_bytes);
-        let meta = BlockMeta { class: access.class, page, dirty: access.kind.is_write() };
-        let cache = self.ideal_cache.as_mut().expect("ideal design has an aggregate cache");
+        let meta = BlockMeta {
+            class: access.class,
+            page,
+            dirty: access.kind.is_write(),
+        };
+        let cache = self
+            .ideal_cache
+            .as_mut()
+            .expect("ideal design has an aggregate cache");
         let hit = cache.probe(block).is_some();
         if !hit {
             cache.insert(block, meta);
@@ -440,7 +500,15 @@ impl CmpSimulator {
                 self.charge(cost, CpiComponent::L1ToL1);
                 // The downgrade leaves a clean copy at the home slice.
                 self.clear_dirty(block);
-                self.fill_home(home, block, BlockMeta { class: access.class, page, dirty: true });
+                self.fill_home(
+                    home,
+                    block,
+                    BlockMeta {
+                        class: access.class,
+                        page,
+                        dirty: true,
+                    },
+                );
             }
             return;
         }
@@ -468,7 +536,11 @@ impl CmpSimulator {
             self.fill_home(
                 home,
                 block,
-                BlockMeta { class: access.class, page, dirty: access.kind.is_write() },
+                BlockMeta {
+                    class: access.class,
+                    page,
+                    dirty: access.kind.is_write(),
+                },
             );
             if access.kind.is_write() {
                 self.note_write(block, core);
@@ -514,11 +586,10 @@ impl CmpSimulator {
         match outcome.event {
             ClassificationEvent::Reclassified { previous_owner }
             | ClassificationEvent::OwnerMigrated { previous_owner } => {
-                let invalidated = self.tiles[previous_owner.index()].invalidate_page(page) as u64;
-                self.l1_dirty.retain(|b, _| {
-                    b.page(self.config.l2_slice.geometry.block_bytes, self.config.memory.page_bytes)
-                        != page
-                });
+                let page_bytes = self.config.memory.page_bytes;
+                let invalidated =
+                    self.tiles[previous_owner.index()].invalidate_page(page, page_bytes) as u64;
+                self.clear_dirty_page(page);
                 if self.measuring {
                     self.reclassifications += 1;
                 }
@@ -542,7 +613,11 @@ impl CmpSimulator {
         let block = access.addr.block(self.block_bytes());
         let page = access.addr.page(self.config.memory.page_bytes);
         let dir_home = self.placement.shared_home(block);
-        let meta = BlockMeta { class: access.class, page, dirty: false };
+        let meta = BlockMeta {
+            class: access.class,
+            page,
+            dirty: false,
+        };
 
         // Remote-L1 dirty data: local slice probe, directory lookup, forward,
         // remote slice + L1 probe, data response (Section 5.3's description of
@@ -623,9 +698,15 @@ impl CmpSimulator {
     }
 
     /// Applies the coherence state changes of a store under the private designs.
-    fn write_state_update(&mut self, block: BlockAddr, tile: TileId, meta: BlockMeta, access: &MemoryAccess) {
+    fn write_state_update(
+        &mut self,
+        block: BlockAddr,
+        tile: TileId,
+        meta: BlockMeta,
+        access: &MemoryAccess,
+    ) {
         let write = self.l2_directory.handle_write(block, tile);
-        for victim_tile in &write.invalidations {
+        for victim_tile in write.invalidations.iter() {
             self.tiles[victim_tile.index()].invalidate(block);
         }
         if write.source == ReadSource::Memory {
@@ -698,7 +779,10 @@ mod tests {
         let spec = WorkloadSpec::oltp_db2();
         for design in LlcDesign::speedup_set() {
             let run = quick_run(design, &spec, 10_000);
-            assert!(run.total_cpi() > spec.busy_cpi, "{design} must add memory CPI");
+            assert!(
+                run.total_cpi() > spec.busy_cpi,
+                "{design} must add memory CPI"
+            );
             assert_eq!(run.accesses, 10_000);
             assert!(run.instructions > 0.0);
         }
@@ -762,7 +846,10 @@ mod tests {
             "misclassification should be well below 2%, got {}",
             run.misclassification_rate
         );
-        assert!(run.reclassifications > 0, "shared pages must trigger re-classifications");
+        assert!(
+            run.reclassifications > 0,
+            "shared pages must trigger re-classifications"
+        );
     }
 
     #[test]
@@ -777,7 +864,11 @@ mod tests {
     #[test]
     fn l1_to_l1_transfers_appear_for_read_write_sharing() {
         let spec = WorkloadSpec::oltp_db2();
-        for design in [LlcDesign::Shared, LlcDesign::Private, LlcDesign::rnuca_default()] {
+        for design in [
+            LlcDesign::Shared,
+            LlcDesign::Private,
+            LlcDesign::rnuca_default(),
+        ] {
             let run = quick_run(design, &spec, 30_000);
             assert!(
                 run.l1_to_l1_rate > 0.0,
@@ -789,9 +880,27 @@ mod tests {
     #[test]
     fn asr_static_zero_and_one_bracket_the_adaptive_version() {
         let spec = WorkloadSpec::oltp_db2();
-        let p0 = quick_run(LlcDesign::Asr { policy: AsrPolicy::Static(0.0) }, &spec, 20_000);
-        let p1 = quick_run(LlcDesign::Asr { policy: AsrPolicy::Static(1.0) }, &spec, 20_000);
-        let adaptive = quick_run(LlcDesign::Asr { policy: AsrPolicy::Adaptive }, &spec, 20_000);
+        let p0 = quick_run(
+            LlcDesign::Asr {
+                policy: AsrPolicy::Static(0.0),
+            },
+            &spec,
+            20_000,
+        );
+        let p1 = quick_run(
+            LlcDesign::Asr {
+                policy: AsrPolicy::Static(1.0),
+            },
+            &spec,
+            20_000,
+        );
+        let adaptive = quick_run(
+            LlcDesign::Asr {
+                policy: AsrPolicy::Adaptive,
+            },
+            &spec,
+            20_000,
+        );
         for run in [&p0, &p1, &adaptive] {
             assert!(run.total_cpi() > 0.0);
         }
@@ -806,7 +915,10 @@ mod tests {
         // must show substantial off-chip activity.
         let spec = WorkloadSpec::dss_qry6();
         let run = quick_run(LlcDesign::Shared, &spec, 20_000);
-        assert!(run.off_chip_rate > 0.2, "streaming workload must miss on chip often");
+        assert!(
+            run.off_chip_rate > 0.2,
+            "streaming workload must miss on chip often"
+        );
     }
 
     #[test]
@@ -823,14 +935,20 @@ mod tests {
         // the *same* reference stream but different simulator seeds make
         // different probabilistic allocation decisions.
         let spec = WorkloadSpec::oltp_db2();
-        let design = LlcDesign::Asr { policy: AsrPolicy::Static(0.5) };
+        let design = LlcDesign::Asr {
+            policy: AsrPolicy::Static(0.5),
+        };
         let run_with = |seed: u64| {
             let mut gen = TraceGenerator::new(&spec, 7);
             let mut sim = CmpSimulator::with_seed(design, &spec, seed);
             sim.run_warmup(&mut gen, 10_000);
             sim.run_measured(&mut gen, 10_000)
         };
-        assert_ne!(run_with(1), run_with(2), "different seeds must alter ASR behaviour");
+        assert_ne!(
+            run_with(1),
+            run_with(2),
+            "different seeds must alter ASR behaviour"
+        );
         assert_eq!(run_with(3), run_with(3), "equal seeds stay deterministic");
     }
 
@@ -846,7 +964,9 @@ mod tests {
         // carries over, like cache contents — is unchanged; what must not
         // leak is exactly the window accounting this test pins down.
         let spec = WorkloadSpec::oltp_db2();
-        let design = LlcDesign::Asr { policy: AsrPolicy::Adaptive };
+        let design = LlcDesign::Asr {
+            policy: AsrPolicy::Adaptive,
+        };
 
         let mut gen = TraceGenerator::new(&spec, 11);
         let mut reused = CmpSimulator::with_seed(design, &spec, 5);

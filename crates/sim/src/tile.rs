@@ -97,10 +97,19 @@ impl Tile {
     }
 
     /// Invalidates every block belonging to `page` (an R-NUCA shoot-down),
-    /// returning how many blocks were dropped.
-    pub fn invalidate_page(&mut self, page: PageAddr) -> usize {
-        let removed = self.slice.invalidate_matching(|_, meta| meta.page == page);
-        removed.len()
+    /// returning how many blocks were dropped from the slice.
+    ///
+    /// The shoot-down walks the page's block addresses — a page holds a
+    /// fixed, small number of blocks — instead of scanning every set of the
+    /// slice for matching metadata, keeping re-classification cost
+    /// proportional to the page size rather than the slice size. The victim
+    /// buffer is deliberately left alone, mirroring the metadata-scan
+    /// behaviour this replaces.
+    pub fn invalidate_page(&mut self, page: PageAddr, page_bytes: usize) -> usize {
+        let block_bytes = self.slice.geometry().block_bytes;
+        page.blocks(block_bytes, page_bytes)
+            .filter(|&block| self.slice.invalidate(block).is_some())
+            .count()
     }
 
     /// Number of blocks resident in the slice (excluding the victim buffer).
@@ -134,7 +143,11 @@ mod tests {
     use super::*;
 
     fn meta(class: AccessClass, page: u64) -> BlockMeta {
-        BlockMeta { class, page: PageAddr::from_page_number(page), dirty: false }
+        BlockMeta {
+            class,
+            page: PageAddr::from_page_number(page),
+            dirty: false,
+        }
     }
 
     fn tile() -> Tile {
@@ -165,7 +178,10 @@ mod tests {
         }
         // The LRU block (block 0) fell out of the slice but sits in the victim buffer.
         assert_eq!(t.resident_blocks(), 16);
-        assert!(t.contains(b(0)), "victim buffer should still hold the evicted block");
+        assert!(
+            t.contains(b(0)),
+            "victim buffer should still hold the evicted block"
+        );
         assert!(t.probe(b(0)), "probing re-promotes from the victim buffer");
     }
 
@@ -180,12 +196,24 @@ mod tests {
     #[test]
     fn invalidate_page_drops_only_that_page() {
         let mut t = tile();
-        t.fill(b(1), meta(AccessClass::PrivateData, 7));
-        t.fill(b(2), meta(AccessClass::PrivateData, 7));
-        t.fill(b(3), meta(AccessClass::PrivateData, 8));
-        assert_eq!(t.invalidate_page(PageAddr::from_page_number(7)), 2);
-        assert!(!t.contains(b(1)));
-        assert!(t.contains(b(3)));
+        // 8 KB pages of 64 B blocks: page 7 spans blocks 896..1024.
+        let page_bytes = 8192;
+        let first = 7 * (page_bytes as u64 / 64);
+        t.fill(b(first), meta(AccessClass::PrivateData, 7));
+        t.fill(b(first + 1), meta(AccessClass::PrivateData, 7));
+        let other = 8 * (page_bytes as u64 / 64);
+        t.fill(b(other), meta(AccessClass::PrivateData, 8));
+        assert_eq!(
+            t.invalidate_page(PageAddr::from_page_number(7), page_bytes),
+            2
+        );
+        assert!(!t.contains(b(first)));
+        assert!(t.contains(b(other)));
+        // A second shoot-down finds nothing left.
+        assert_eq!(
+            t.invalidate_page(PageAddr::from_page_number(7), page_bytes),
+            0
+        );
     }
 
     #[test]

@@ -107,13 +107,22 @@ pub struct MemoryAccess {
 impl MemoryAccess {
     /// Convenience constructor.
     pub fn new(core: CoreId, addr: PhysAddr, kind: AccessKind, class: AccessClass) -> Self {
-        MemoryAccess { core, addr, kind, class }
+        MemoryAccess {
+            core,
+            addr,
+            kind,
+            class,
+        }
     }
 }
 
 impl fmt::Display for MemoryAccess {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} [{}]", self.core, self.kind, self.addr, self.class)
+        write!(
+            f,
+            "{} {} {} [{}]",
+            self.core, self.kind, self.addr, self.class
+        )
     }
 }
 

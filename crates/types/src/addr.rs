@@ -107,13 +107,19 @@ impl BlockAddr {
     ///
     /// Panics if `num_sets` is not a power of two.
     pub fn set_index(self, num_sets: usize) -> usize {
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         (self.0 as usize) & (num_sets - 1)
     }
 
     /// Returns the tag for a cache with `num_sets` sets.
     pub fn tag(self, num_sets: usize) -> u64 {
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         self.0 >> num_sets.trailing_zeros()
     }
 
@@ -124,7 +130,10 @@ impl BlockAddr {
     /// rotational-interleaving indexing function, where `k` is the offset of
     /// the first bit above the set index.
     pub fn interleave_bits(self, num_sets: usize, bits: u32) -> u64 {
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         (self.0 >> num_sets.trailing_zeros()) & ((1u64 << bits) - 1)
     }
 

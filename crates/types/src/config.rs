@@ -27,9 +27,15 @@ impl CacheGeometry {
     /// Returns an error if any parameter is zero, the block size is not a
     /// power of two, the capacity is not a multiple of `ways * block_bytes`,
     /// or the resulting set count is not a power of two.
-    pub fn new(capacity_bytes: usize, ways: usize, block_bytes: usize) -> Result<Self, ConfigError> {
+    pub fn new(
+        capacity_bytes: usize,
+        ways: usize,
+        block_bytes: usize,
+    ) -> Result<Self, ConfigError> {
         if capacity_bytes == 0 || ways == 0 || block_bytes == 0 {
-            return Err(ConfigError::new("cache geometry parameters must be non-zero"));
+            return Err(ConfigError::new(
+                "cache geometry parameters must be non-zero",
+            ));
         }
         if !block_bytes.is_power_of_two() {
             return Err(ConfigError::new("block size must be a power of two"));
@@ -44,7 +50,11 @@ impl CacheGeometry {
         if !sets.is_power_of_two() {
             return Err(ConfigError::new("number of sets must be a power of two"));
         }
-        Ok(CacheGeometry { capacity_bytes, ways, block_bytes })
+        Ok(CacheGeometry {
+            capacity_bytes,
+            ways,
+            block_bytes,
+        })
     }
 
     /// Number of sets in the array.
@@ -441,7 +451,9 @@ mod tests {
     fn with_core_count_reshapes_the_torus() {
         let base = SystemConfig::server_16();
         for (n, w, h) in [(8, 4, 2), (16, 4, 4), (32, 8, 4), (64, 8, 8)] {
-            let cfg = base.with_core_count(n).expect("power-of-two core counts are valid");
+            let cfg = base
+                .with_core_count(n)
+                .expect("power-of-two core counts are valid");
             assert_eq!(cfg.num_cores, n);
             assert_eq!((cfg.torus.width, cfg.torus.height), (w, h));
             cfg.validate().expect("scaled config must validate");
@@ -455,11 +467,15 @@ mod tests {
     #[test]
     fn with_slice_capacity_keeps_or_reduces_ways() {
         // 512 KB at 16 ways: 512 sets, valid — ways preserved.
-        let cfg = SystemConfig::server_16().with_slice_capacity(512 * 1024).unwrap();
+        let cfg = SystemConfig::server_16()
+            .with_slice_capacity(512 * 1024)
+            .unwrap();
         assert_eq!(cfg.l2_slice.geometry.capacity_bytes, 512 * 1024);
         assert_eq!(cfg.l2_slice.geometry.ways, 16);
         // 512 KB at 12 ways is unrealizable; the desktop preset settles on 8.
-        let cfg = SystemConfig::desktop_8().with_slice_capacity(512 * 1024).unwrap();
+        let cfg = SystemConfig::desktop_8()
+            .with_slice_capacity(512 * 1024)
+            .unwrap();
         assert_eq!(cfg.l2_slice.geometry.ways, 8);
         assert_eq!(cfg.l2_slice.geometry.num_sets(), 1024);
         // A capacity smaller than one block is unrealizable at any way count.
@@ -488,7 +504,10 @@ mod tests {
         assert_eq!(cfg.l2_slice.geometry.capacity_bytes, 512 * 1024);
         // The cluster-size override is carried, not applied here.
         assert_eq!(cfg.torus.num_tiles(), 64);
-        let bad = ConfigPoint { num_cores: Some(5), ..ConfigPoint::default() };
+        let bad = ConfigPoint {
+            num_cores: Some(5),
+            ..ConfigPoint::default()
+        };
         assert!(bad.apply(&base).is_err());
     }
 }

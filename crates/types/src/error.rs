@@ -16,7 +16,9 @@ pub struct ConfigError {
 impl ConfigError {
     /// Creates a configuration error with the given message.
     pub fn new(message: impl Into<String>) -> Self {
-        ConfigError { message: message.into() }
+        ConfigError {
+            message: message.into(),
+        }
     }
 
     /// Returns the error message.

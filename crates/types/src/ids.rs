@@ -37,7 +37,10 @@ impl CoreId {
     /// and up). Truncating silently would alias distinct cores — the trace
     /// codec, for one, stores core indices in exactly these 16 bits.
     pub fn new(index: usize) -> Self {
-        assert!(index <= u16::MAX as usize, "core index {index} exceeds the 16-bit ID space");
+        assert!(
+            index <= u16::MAX as usize,
+            "core index {index} exceeds the 16-bit ID space"
+        );
         CoreId(index as u16)
     }
 
@@ -78,7 +81,10 @@ impl TileId {
     ///
     /// Panics if `index` does not fit the 16-bit representation (see [`CoreId::new`]).
     pub fn new(index: usize) -> Self {
-        assert!(index <= u16::MAX as usize, "tile index {index} exceeds the 16-bit ID space");
+        assert!(
+            index <= u16::MAX as usize,
+            "tile index {index} exceeds the 16-bit ID space"
+        );
         TileId(index as u16)
     }
 

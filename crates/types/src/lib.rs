@@ -30,6 +30,7 @@ pub mod addr;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod index_map;
 pub mod latency;
 
 pub use access::{AccessClass, AccessKind, MemoryAccess};
@@ -37,4 +38,5 @@ pub use addr::{BlockAddr, PageAddr, PhysAddr};
 pub use config::{CacheGeometry, ConfigPoint, L2SliceConfig, NocConfig, SystemConfig};
 pub use error::ConfigError;
 pub use ids::{CoreId, MemCtrlId, RotationalId, TileId};
+pub use index_map::U64Map;
 pub use latency::Cycles;

@@ -61,7 +61,9 @@ pub struct SharerProfile {
 impl SharerProfile {
     /// The bubble for a given class and sharer count, if present.
     pub fn bubble(&self, class: AccessClass, sharers: usize) -> Option<&SharerBubble> {
-        self.bubbles.iter().find(|b| b.class == class && b.sharers == sharers)
+        self.bubbles
+            .iter()
+            .find(|b| b.class == class && b.sharers == sharers)
     }
 
     /// Access-weighted average sharer count for a class.
@@ -280,13 +282,15 @@ impl TraceCharacterization {
         }
         let mut bubbles: Vec<SharerBubble> = agg
             .into_iter()
-            .map(|((class, sharers), (accesses, blocks, rw_blocks))| SharerBubble {
-                class,
-                sharers,
-                access_fraction: accesses as f64 / total_accesses.max(1.0),
-                read_write_fraction: rw_blocks as f64 / blocks.max(1) as f64,
-                blocks,
-            })
+            .map(
+                |((class, sharers), (accesses, blocks, rw_blocks))| SharerBubble {
+                    class,
+                    sharers,
+                    access_fraction: accesses as f64 / total_accesses.max(1.0),
+                    read_write_fraction: rw_blocks as f64 / blocks.max(1) as f64,
+                    blocks,
+                },
+            )
             .collect();
         bubbles.sort_by_key(|a| (a.class, a.sharers));
         SharerProfile { bubbles }
@@ -366,7 +370,10 @@ mod tests {
             acc(3, 0x2000, AccessKind::Write, AccessClass::PrivateData),
         ];
         let c = TraceCharacterization::analyze(&trace, 64);
-        let b = c.sharers.bubble(AccessClass::Instruction, 3).expect("3-sharer instruction bubble");
+        let b = c
+            .sharers
+            .bubble(AccessClass::Instruction, 3)
+            .expect("3-sharer instruction bubble");
         assert_eq!(b.blocks, 1);
         assert!((b.access_fraction - 0.75).abs() < 1e-9);
         assert_eq!(b.read_write_fraction, 0.0);
@@ -385,7 +392,10 @@ mod tests {
             acc(0, 0x1000, AccessKind::InstrFetch, AccessClass::Instruction),
         ];
         let c = TraceCharacterization::analyze(&trace, 64);
-        assert_eq!(c.instr_reuse.first, 3, "two run starts by core 0 plus one by core 1");
+        assert_eq!(
+            c.instr_reuse.first, 3,
+            "two run starts by core 0 plus one by core 1"
+        );
         assert_eq!(c.instr_reuse.second, 1);
         assert_eq!(c.instr_reuse.total(), 4);
         assert!((c.instr_reuse.reuse_fraction() - 0.25).abs() < 1e-9);
@@ -395,10 +405,10 @@ mod tests {
     fn shared_reuse_resets_on_other_cores_write() {
         let b = 0x5000;
         let trace = vec![
-            acc(0, b, AccessKind::Read, AccessClass::SharedData),  // core 0: 1st
-            acc(0, b, AccessKind::Read, AccessClass::SharedData),  // core 0: 2nd
+            acc(0, b, AccessKind::Read, AccessClass::SharedData), // core 0: 1st
+            acc(0, b, AccessKind::Read, AccessClass::SharedData), // core 0: 2nd
             acc(1, b, AccessKind::Write, AccessClass::SharedData), // core 1: 1st, resets core 0
-            acc(0, b, AccessKind::Read, AccessClass::SharedData),  // core 0: 1st again
+            acc(0, b, AccessKind::Read, AccessClass::SharedData), // core 0: 1st again
         ];
         let c = TraceCharacterization::analyze(&trace, 64);
         assert_eq!(c.shared_reuse.first, 3);
@@ -413,13 +423,21 @@ mod tests {
             trace.push(acc(0, 0x10000, AccessKind::Read, AccessClass::PrivateData));
         }
         for i in 1..=10u64 {
-            trace.push(acc(0, 0x10000 + i * 64, AccessKind::Read, AccessClass::PrivateData));
+            trace.push(acc(
+                0,
+                0x10000 + i * 64,
+                AccessKind::Read,
+                AccessClass::PrivateData,
+            ));
         }
         let c = TraceCharacterization::analyze(&trace, 64);
         let cdf = &c.private_cdf;
         assert!(!cdf.points.is_empty());
         for w in cdf.points.windows(2) {
-            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1, "CDF must be monotonic");
+            assert!(
+                w[1].0 >= w[0].0 && w[1].1 >= w[0].1,
+                "CDF must be monotonic"
+            );
         }
         let last = cdf.points.last().unwrap();
         assert!((last.1 - 1.0).abs() < 1e-9, "CDF must reach 1.0");

@@ -16,6 +16,11 @@ use rnuca_types::addr::BlockAddr;
 use rnuca_types::ids::CoreId;
 
 /// A reproducible, infinite generator of L2 references for one workload.
+///
+/// The per-region hot-set sizes are precomputed at construction, so drawing
+/// a reference costs only the RNG calls and a few integer operations — the
+/// generator allocates nothing per access (and, via
+/// [`TraceGenerator::generate_into`], nothing per batch either).
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     name: String,
@@ -26,8 +31,19 @@ pub struct TraceGenerator {
     shared_write_fraction: f64,
     private_write_fraction: f64,
     hot_access_fraction: f64,
-    hot_footprint_fraction: f64,
     sharing: SharingPattern,
+    /// Hot-set size of the instruction region, in blocks.
+    instr_hot_blocks: u64,
+    /// Hot-set size of one core's private region, in blocks.
+    private_hot_blocks: u64,
+    /// Hot-set size of the shared region, in blocks.
+    shared_hot_blocks: u64,
+    /// Shared blocks per sharing group (1 when the pattern is universal).
+    shared_blocks_per_group: u64,
+    /// Hot-set size within one sharing group, in blocks.
+    group_hot_blocks: u64,
+    /// Number of sharing groups (1 when the pattern is universal).
+    num_groups: u64,
     rng: StdRng,
     next_core: usize,
 }
@@ -49,6 +65,20 @@ impl TraceGenerator {
             spec.shared_footprint_kb,
             spec.private_footprint_kb_per_core,
         );
+        let hot_blocks = |footprint: u64| -> u64 {
+            ((footprint as f64 * spec.hot_footprint_fraction) as u64).max(1)
+        };
+        let group_degree = match spec.sharing {
+            SharingPattern::Universal => 0,
+            SharingPattern::NearestNeighbor { degree } => degree.max(2),
+            SharingPattern::ProducerConsumer => 2,
+        };
+        let num_groups = if group_degree == 0 {
+            1
+        } else {
+            spec.num_cores().div_ceil(group_degree).max(1) as u64
+        };
+        let shared_blocks_per_group = (layout.shared_blocks() / num_groups).max(1);
         TraceGenerator {
             name: spec.name.clone(),
             layout,
@@ -58,8 +88,13 @@ impl TraceGenerator {
             shared_write_fraction: spec.shared_write_fraction,
             private_write_fraction: spec.private_write_fraction,
             hot_access_fraction: spec.hot_access_fraction,
-            hot_footprint_fraction: spec.hot_footprint_fraction,
             sharing: spec.sharing,
+            instr_hot_blocks: hot_blocks(layout.instr_blocks()),
+            private_hot_blocks: hot_blocks(layout.private_blocks_per_core()),
+            shared_hot_blocks: hot_blocks(layout.shared_blocks()),
+            shared_blocks_per_group,
+            group_hot_blocks: hot_blocks(shared_blocks_per_group),
+            num_groups,
             rng: StdRng::seed_from_u64(seed),
             next_core: 0,
         }
@@ -82,7 +117,22 @@ impl TraceGenerator {
 
     /// Generates a batch of `n` references.
     pub fn generate(&mut self, n: usize) -> Vec<MemoryAccess> {
-        (0..n).map(|_| self.next_access()).collect()
+        let mut buf = Vec::new();
+        self.generate_into(n, &mut buf);
+        buf
+    }
+
+    /// Generates a batch of `n` references into `buf`, clearing it first.
+    ///
+    /// Reusing one buffer across batches keeps the simulator's run loop free
+    /// of per-batch allocations; the produced sequence is identical to `n`
+    /// calls of [`TraceGenerator::next_access`].
+    pub fn generate_into(&mut self, n: usize, buf: &mut Vec<MemoryAccess>) {
+        buf.clear();
+        buf.reserve(n);
+        for _ in 0..n {
+            buf.push(self.next_access());
+        }
     }
 
     /// Generates the next reference.
@@ -101,11 +151,11 @@ impl TraceGenerator {
     }
 
     /// Picks an index within `footprint` using the two-level hot/cold model.
-    fn pick_index(&mut self, footprint: u64) -> u64 {
+    /// `hot_blocks` is the region's precomputed hot-set size.
+    fn pick_index(&mut self, footprint: u64, hot_blocks: u64) -> u64 {
         if footprint <= 1 {
             return 0;
         }
-        let hot_blocks = ((footprint as f64 * self.hot_footprint_fraction) as u64).max(1);
         if self.rng.gen_bool(self.hot_access_fraction.clamp(0.0, 1.0)) {
             self.rng.gen_range(0..hot_blocks)
         } else {
@@ -114,7 +164,7 @@ impl TraceGenerator {
     }
 
     fn instruction_access(&mut self, core: CoreId) -> MemoryAccess {
-        let idx = self.pick_index(self.layout.instr_blocks());
+        let idx = self.pick_index(self.layout.instr_blocks(), self.instr_hot_blocks);
         let block = self.layout.instr_block(idx);
         MemoryAccess::new(
             core,
@@ -125,24 +175,43 @@ impl TraceGenerator {
     }
 
     fn private_access(&mut self, core: CoreId) -> MemoryAccess {
-        let idx = self.pick_index(self.layout.private_blocks_per_core());
+        let idx = self.pick_index(
+            self.layout.private_blocks_per_core(),
+            self.private_hot_blocks,
+        );
         let block = self.layout.private_block(core, idx);
-        let kind = if self.rng.gen_bool(self.private_write_fraction.clamp(0.0, 1.0)) {
+        let kind = if self
+            .rng
+            .gen_bool(self.private_write_fraction.clamp(0.0, 1.0))
+        {
             AccessKind::Write
         } else {
             AccessKind::Read
         };
-        MemoryAccess::new(core, block.base_addr(self.layout.block_bytes()), kind, AccessClass::PrivateData)
+        MemoryAccess::new(
+            core,
+            block.base_addr(self.layout.block_bytes()),
+            kind,
+            AccessClass::PrivateData,
+        )
     }
 
     fn shared_access(&mut self, core: CoreId) -> MemoryAccess {
         let block = self.pick_shared_block(core);
-        let kind = if self.rng.gen_bool(self.shared_write_fraction.clamp(0.0, 1.0)) {
+        let kind = if self
+            .rng
+            .gen_bool(self.shared_write_fraction.clamp(0.0, 1.0))
+        {
             AccessKind::Write
         } else {
             AccessKind::Read
         };
-        MemoryAccess::new(core, block.base_addr(self.layout.block_bytes()), kind, AccessClass::SharedData)
+        MemoryAccess::new(
+            core,
+            block.base_addr(self.layout.block_bytes()),
+            kind,
+            AccessClass::SharedData,
+        )
     }
 
     /// Picks a shared block respecting the spec's sharing pattern.
@@ -150,7 +219,7 @@ impl TraceGenerator {
         let footprint = self.layout.shared_blocks();
         match self.sharing {
             SharingPattern::Universal => {
-                let idx = self.pick_index(footprint);
+                let idx = self.pick_index(footprint, self.shared_hot_blocks);
                 self.layout.shared_block(idx)
             }
             SharingPattern::NearestNeighbor { degree } => {
@@ -163,12 +232,10 @@ impl TraceGenerator {
     /// Shared blocks are partitioned among groups of `degree` neighbouring
     /// cores; a core only touches blocks belonging to its group.
     fn grouped_shared_block(&mut self, core: CoreId, degree: usize, footprint: u64) -> BlockAddr {
-        let num_groups = self.num_cores.div_ceil(degree).max(1) as u64;
         let group = (core.index() / degree) as u64;
-        let blocks_per_group = (footprint / num_groups).max(1);
-        let within = self.pick_index(blocks_per_group);
+        let within = self.pick_index(self.shared_blocks_per_group, self.group_hot_blocks);
         // Interleave groups across the region so every group sees a spread of sets.
-        let idx = within * num_groups + group;
+        let idx = within * self.num_groups + group;
         self.layout.shared_block(idx % footprint)
     }
 }
@@ -195,9 +262,18 @@ mod tests {
     fn class_mix_matches_spec_fractions() {
         let spec = WorkloadSpec::oltp_db2();
         let t = trace(&spec, 50_000, 1);
-        let instr = t.iter().filter(|a| a.class == AccessClass::Instruction).count() as f64;
-        let private = t.iter().filter(|a| a.class == AccessClass::PrivateData).count() as f64;
-        let shared = t.iter().filter(|a| a.class == AccessClass::SharedData).count() as f64;
+        let instr = t
+            .iter()
+            .filter(|a| a.class == AccessClass::Instruction)
+            .count() as f64;
+        let private = t
+            .iter()
+            .filter(|a| a.class == AccessClass::PrivateData)
+            .count() as f64;
+        let shared = t
+            .iter()
+            .filter(|a| a.class == AccessClass::SharedData)
+            .count() as f64;
         let n = t.len() as f64;
         assert!((instr / n - spec.instr_fraction).abs() < 0.02);
         assert!((private / n - spec.private_fraction).abs() < 0.02);
@@ -210,7 +286,11 @@ mod tests {
         let gen = TraceGenerator::new(&spec, 7);
         let layout = *gen.layout();
         for a in trace(&spec, 5_000, 7) {
-            assert_eq!(layout.class_of(a.addr), Some(a.class), "layout and tag must agree");
+            assert_eq!(
+                layout.class_of(a.addr),
+                Some(a.class),
+                "layout and tag must agree"
+            );
         }
     }
 
@@ -234,12 +314,18 @@ mod tests {
         for a in &t {
             if a.class == AccessClass::Instruction {
                 assert!(a.kind.is_instr_fetch());
-                sharers.entry(a.addr.block(64).block_number()).or_default().insert(a.core.index());
+                sharers
+                    .entry(a.addr.block(64).block_number())
+                    .or_default()
+                    .insert(a.core.index());
             }
         }
         // Hot instruction blocks end up shared by (nearly) all 16 cores.
         let max_sharers = sharers.values().map(HashSet::len).max().unwrap();
-        assert!(max_sharers >= 14, "hot instruction blocks should be near-universally shared");
+        assert!(
+            max_sharers >= 14,
+            "hot instruction blocks should be near-universally shared"
+        );
     }
 
     #[test]
@@ -249,7 +335,10 @@ mod tests {
         let mut sharers: HashMap<u64, HashSet<usize>> = HashMap::new();
         for a in &t {
             if a.class == AccessClass::SharedData {
-                sharers.entry(a.addr.block(64).block_number()).or_default().insert(a.core.index());
+                sharers
+                    .entry(a.addr.block(64).block_number())
+                    .or_default()
+                    .insert(a.core.index());
             }
         }
         let max_sharers = sharers.values().map(HashSet::len).max().unwrap();
@@ -284,7 +373,10 @@ mod tests {
     fn write_fractions_are_respected() {
         let spec = WorkloadSpec::oltp_db2();
         let t = trace(&spec, 80_000, 21);
-        let shared: Vec<_> = t.iter().filter(|a| a.class == AccessClass::SharedData).collect();
+        let shared: Vec<_> = t
+            .iter()
+            .filter(|a| a.class == AccessClass::SharedData)
+            .collect();
         let writes = shared.iter().filter(|a| a.kind.is_write()).count() as f64;
         assert!((writes / shared.len() as f64 - spec.shared_write_fraction).abs() < 0.03);
         // Instruction fetches are never writes.

@@ -46,8 +46,15 @@ impl AddressLayout {
     ) -> Self {
         assert!(block_bytes.is_power_of_two() && page_bytes.is_power_of_two());
         assert!(num_cores > 0, "need at least one core");
-        for kb in [instr_footprint_kb, shared_footprint_kb, private_footprint_kb_per_core] {
-            assert!(kb * 1024 < REGION_STRIDE, "footprint {kb} KB exceeds the region stride");
+        for kb in [
+            instr_footprint_kb,
+            shared_footprint_kb,
+            private_footprint_kb_per_core,
+        ] {
+            assert!(
+                kb * 1024 < REGION_STRIDE,
+                "footprint {kb} KB exceeds the region stride"
+            );
         }
         let to_blocks = |kb: u64| (kb * 1024 / block_bytes as u64).max(1);
         AddressLayout {
@@ -109,7 +116,10 @@ impl AddressLayout {
 
     /// The `index`-th block of `core`'s private region (wraps modulo the footprint).
     pub fn private_block(&self, core: CoreId, index: u64) -> BlockAddr {
-        assert!(core.index() < self.num_cores, "core {core} has no private region");
+        assert!(
+            core.index() < self.num_cores,
+            "core {core} has no private region"
+        );
         let idx = index % self.private_blocks_per_core;
         let base = self.region_base(2 + core.index() as u64);
         PhysAddr::new(base + idx * self.block_bytes as u64).block(self.block_bytes)
@@ -192,7 +202,10 @@ mod tests {
         assert_eq!(l.instr_block(0), l.instr_block(l.instr_blocks()));
         assert_eq!(l.shared_block(7), l.shared_block(7 + l.shared_blocks()));
         let c = CoreId::new(1);
-        assert_eq!(l.private_block(c, 3), l.private_block(c, 3 + l.private_blocks_per_core()));
+        assert_eq!(
+            l.private_block(c, 3),
+            l.private_block(c, 3 + l.private_blocks_per_core())
+        );
     }
 
     #[test]

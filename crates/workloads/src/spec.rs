@@ -330,7 +330,8 @@ impl WorkloadSpec {
     /// The system configuration the workload runs on: the preset's, unless a
     /// scenario sweep installed an override.
     pub fn system_config(&self) -> SystemConfig {
-        self.config_override.unwrap_or_else(|| self.preset.system_config())
+        self.config_override
+            .unwrap_or_else(|| self.preset.system_config())
     }
 
     /// Returns a copy of this workload pinned to an explicit system
@@ -402,7 +403,8 @@ mod tests {
     #[test]
     fn all_presets_validate() {
         for spec in WorkloadSpec::evaluation_suite() {
-            spec.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name));
         }
     }
 
@@ -440,7 +442,10 @@ mod tests {
         let mix = WorkloadSpec::mix();
         assert_eq!(mix.preset, CmpPreset::Desktop8);
         assert_eq!(mix.num_cores(), 8);
-        assert_eq!(mix.system_config().l2_slice.geometry.capacity_bytes, 3 * 1024 * 1024);
+        assert_eq!(
+            mix.system_config().l2_slice.geometry.capacity_bytes,
+            3 * 1024 * 1024
+        );
     }
 
     #[test]
@@ -499,8 +504,14 @@ mod tests {
         };
         let scaled = spec.at_config_point(&point).unwrap();
         assert_eq!(scaled.num_cores(), 32);
-        assert_eq!(scaled.system_config().l2_slice.geometry.capacity_bytes, 1024 * 1024);
-        let bad = ConfigPoint { num_cores: Some(7), ..ConfigPoint::default() };
+        assert_eq!(
+            scaled.system_config().l2_slice.geometry.capacity_bytes,
+            1024 * 1024
+        );
+        let bad = ConfigPoint {
+            num_cores: Some(7),
+            ..ConfigPoint::default()
+        };
         assert!(spec.at_config_point(&bad).is_err());
         // The baseline point is the identity.
         let same = spec.at_config_point(&ConfigPoint::baseline()).unwrap();

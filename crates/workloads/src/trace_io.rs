@@ -30,7 +30,9 @@ pub struct TraceEncodeError {
 
 impl TraceEncodeError {
     fn new(message: impl Into<String>) -> Self {
-        TraceEncodeError { message: message.into() }
+        TraceEncodeError {
+            message: message.into(),
+        }
     }
 }
 
@@ -50,7 +52,9 @@ pub struct TraceDecodeError {
 
 impl TraceDecodeError {
     fn new(message: impl Into<String>) -> Self {
-        TraceDecodeError { message: message.into() }
+        TraceDecodeError {
+            message: message.into(),
+        }
     }
 }
 
@@ -81,13 +85,21 @@ fn decode_tag(tag: u8) -> Result<(AccessKind, AccessClass), TraceDecodeError> {
         0 => AccessKind::InstrFetch,
         1 => AccessKind::Read,
         2 => AccessKind::Write,
-        other => return Err(TraceDecodeError::new(format!("invalid access kind tag {other}"))),
+        other => {
+            return Err(TraceDecodeError::new(format!(
+                "invalid access kind tag {other}"
+            )))
+        }
     };
     let class = match tag & 0x0F {
         0 => AccessClass::Instruction,
         1 => AccessClass::PrivateData,
         2 => AccessClass::SharedData,
-        other => return Err(TraceDecodeError::new(format!("invalid access class tag {other}"))),
+        other => {
+            return Err(TraceDecodeError::new(format!(
+                "invalid access class tag {other}"
+            )))
+        }
     };
     Ok((kind, class))
 }
@@ -129,7 +141,9 @@ pub fn decode_trace(mut data: Bytes) -> Result<Vec<MemoryAccess>, TraceDecodeErr
     }
     let magic = data.get_u32();
     if magic != MAGIC {
-        return Err(TraceDecodeError::new(format!("bad magic number {magic:#010x}")));
+        return Err(TraceDecodeError::new(format!(
+            "bad magic number {magic:#010x}"
+        )));
     }
     let count = data.get_u64();
     let body_bytes = count
@@ -233,7 +247,11 @@ mod tests {
     #[test]
     fn all_kind_class_combinations_roundtrip() {
         for kind in [AccessKind::InstrFetch, AccessKind::Read, AccessKind::Write] {
-            for class in [AccessClass::Instruction, AccessClass::PrivateData, AccessClass::SharedData] {
+            for class in [
+                AccessClass::Instruction,
+                AccessClass::PrivateData,
+                AccessClass::SharedData,
+            ] {
                 let (k, c) = decode_tag(encode_tag(kind, class)).unwrap();
                 assert_eq!((k, c), (kind, class));
             }

@@ -14,7 +14,9 @@ use rnuca_sim::{DesignComparison, ExperimentConfig, LlcDesign, TextTable};
 use rnuca_workloads::WorkloadSpec;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Apache".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Apache".to_string());
     let spec = WorkloadSpec::evaluation_suite()
         .into_iter()
         .find(|s| s.name.eq_ignore_ascii_case(&name))
@@ -27,7 +29,11 @@ fn main() {
     cfg.warmup_refs = 300_000;
     cfg.measured_refs = 150_000;
 
-    println!("Instruction-cluster sweep for {} ({} cores):", spec.name, spec.num_cores());
+    println!(
+        "Instruction-cluster sweep for {} ({} cores):",
+        spec.name,
+        spec.num_cores()
+    );
     let mut table = TextTable::new(vec![
         "cluster size",
         "total CPI",
@@ -40,7 +46,13 @@ fn main() {
         if size > spec.num_cores() {
             continue;
         }
-        let r = DesignComparison::run_single(&spec, LlcDesign::RNuca { instr_cluster_size: size }, &cfg);
+        let r = DesignComparison::run_single(
+            &spec,
+            LlcDesign::RNuca {
+                instr_cluster_size: size,
+            },
+            &cfg,
+        );
         let total = r.total_cpi();
         let base_val = *base.get_or_insert(total);
         table.add_row(vec![

@@ -19,7 +19,10 @@ fn main() {
         c
     };
 
-    println!("Running {} workloads x 5 designs (parallel)...", rnuca_workloads::WorkloadSpec::evaluation_suite().len());
+    println!(
+        "Running {} workloads x 5 designs (parallel)...",
+        rnuca_workloads::WorkloadSpec::evaluation_suite().len()
+    );
     let comparison = DesignComparison::run_evaluation(&cfg);
 
     let mut table = TextTable::new(vec!["workload", "bucket", "A", "S", "R", "I"]);
@@ -27,7 +30,11 @@ fn main() {
         let baseline = w.private_baseline();
         let mut row = vec![
             w.workload.clone(),
-            if w.private_averse { "private-averse".into() } else { "shared-averse".into() },
+            if w.private_averse {
+                "private-averse".into()
+            } else {
+                "shared-averse".into()
+            },
         ];
         for letter in ["A", "S", "R", "I"] {
             let s = w

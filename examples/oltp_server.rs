@@ -16,7 +16,11 @@ fn main() {
     let mut gen = TraceGenerator::new(&spec, 7);
     let trace = gen.generate(150_000);
     let ch = TraceCharacterization::analyze(&trace, 64);
-    println!("{} L2 reference characterization ({} refs):", spec.name, trace.len());
+    println!(
+        "{} L2 reference characterization ({} refs):",
+        spec.name,
+        trace.len()
+    );
     println!(
         "  class mix: instr {} / private {} / shared-RW {} / shared-RO {}",
         fmt_pct(ch.breakdown.instructions),
@@ -43,19 +47,32 @@ fn main() {
     let results = DesignComparison::run_workload(&spec, &cfg);
     let base = results.private_baseline().total_cpi();
 
-    let mut table = TextTable::new(vec!["design", "CPI", "CPI/private", "speedup", "off-chip rate"]);
+    let mut table = TextTable::new(vec![
+        "design",
+        "CPI",
+        "CPI/private",
+        "speedup",
+        "off-chip rate",
+    ]);
     for r in &results.results {
         table.add_row(vec![
             r.design.to_string(),
             fmt3(r.total_cpi()),
             fmt3(r.total_cpi() / base),
-            format!("{:+.1}%", (r.speedup_over(results.private_baseline()) - 1.0) * 100.0),
+            format!(
+                "{:+.1}%",
+                (r.speedup_over(results.private_baseline()) - 1.0) * 100.0
+            ),
             fmt_pct(r.run.off_chip_rate),
         ]);
     }
     println!("{table}");
     println!(
         "Workload bucket: {}",
-        if results.private_averse { "private-averse" } else { "shared-averse" }
+        if results.private_averse {
+            "private-averse"
+        } else {
+            "shared-averse"
+        }
     );
 }

@@ -29,16 +29,32 @@ fn main() {
     let core = CoreId::new(5);
     let block = BlockAddr::from_block_number(0xBEEF << 10);
     println!("\nPlacement decisions for core {core} and block {block}:");
-    println!("  private data  -> {}", engine.place(PageClass::Private, block, core));
-    println!("  instructions  -> {}", engine.place(PageClass::Instruction, block, core));
-    println!("  shared data   -> {}", engine.place(PageClass::Shared, block, core));
+    println!(
+        "  private data  -> {}",
+        engine.place(PageClass::Private, block, core)
+    );
+    println!(
+        "  instructions  -> {}",
+        engine.place(PageClass::Instruction, block, core)
+    );
+    println!(
+        "  shared data   -> {}",
+        engine.place(PageClass::Shared, block, core)
+    );
     let cluster = engine.instruction_cluster(core);
     let members: Vec<String> = cluster.members().iter().map(ToString::to_string).collect();
-    println!("  instruction cluster of {core}: {{{}}}", members.join(", "));
+    println!(
+        "  instruction cluster of {core}: {{{}}}",
+        members.join(", ")
+    );
 
     // 3. Run a short OLTP trace under the shared design and under R-NUCA.
     let spec = WorkloadSpec::oltp_db2();
-    println!("\nSimulating {} ({} L2 refs warm-up + measure)...", spec.name, 2 * 60_000);
+    println!(
+        "\nSimulating {} ({} L2 refs warm-up + measure)...",
+        spec.name,
+        2 * 60_000
+    );
     for design in [LlcDesign::Shared, LlcDesign::rnuca_default()] {
         let mut gen = TraceGenerator::new(&spec, 1);
         let mut sim = CmpSimulator::new(design, &spec);

@@ -57,7 +57,7 @@ proptest! {
             let t = TileId::new(tile);
             if is_write {
                 let w = dir.handle_write(b, t);
-                prop_assert!(!w.invalidations.contains(&t));
+                prop_assert!(!w.invalidations.contains(t));
                 prop_assert_eq!(dir.sharers(b).len(), 1);
                 prop_assert_eq!(dir.owner(b), Some(t));
             } else {

@@ -36,8 +36,14 @@ fn mix_is_shared_averse() {
     let private = DesignComparison::run_single(&spec, LlcDesign::Private, &c).total_cpi();
     let shared = DesignComparison::run_single(&spec, LlcDesign::Shared, &c).total_cpi();
     let rnuca = DesignComparison::run_single(&spec, LlcDesign::rnuca_default(), &c).total_cpi();
-    assert!(private < shared, "MIX: private ({private:.3}) should beat shared ({shared:.3})");
-    assert!(rnuca <= shared, "MIX: R-NUCA ({rnuca:.3}) should beat shared ({shared:.3})");
+    assert!(
+        private < shared,
+        "MIX: private ({private:.3}) should beat shared ({shared:.3})"
+    );
+    assert!(
+        rnuca <= shared,
+        "MIX: R-NUCA ({rnuca:.3}) should beat shared ({shared:.3})"
+    );
 }
 
 /// Apache (large instruction footprint, universally shared data) is
@@ -82,7 +88,14 @@ fn instruction_cluster_size_tradeoff() {
     let spec = WorkloadSpec::apache();
     let c = cfg();
     let run = |n: usize| {
-        DesignComparison::run_single(&spec, LlcDesign::RNuca { instr_cluster_size: n }, &c).run
+        DesignComparison::run_single(
+            &spec,
+            LlcDesign::RNuca {
+                instr_cluster_size: n,
+            },
+            &c,
+        )
+        .run
     };
     let size1 = run(1);
     let size4 = run(4);

@@ -23,7 +23,9 @@ fn classifier_converges_to_ground_truth_on_oltp() {
     // After the trace, every touched page's classification matches its region.
     let mut checked = 0;
     for (page, info) in os.page_table().iter() {
-        let truth = layout.class_of_page(*page).expect("page comes from a known region");
+        let truth = layout
+            .class_of_page(page)
+            .expect("page comes from a known region");
         let expected_any = match truth {
             AccessClass::Instruction => info.class == PageClass::Instruction,
             AccessClass::PrivateData => info.class == PageClass::Private,
@@ -33,21 +35,29 @@ fn classifier_converges_to_ground_truth_on_oltp() {
                 info.class == PageClass::Shared || info.class == PageClass::Private
             }
         };
-        assert!(expected_any, "page {page} classified {:?} but ground truth is {truth}", info.class);
+        assert!(
+            expected_any,
+            "page {page} classified {:?} but ground truth is {truth}",
+            info.class
+        );
         checked += 1;
     }
-    assert!(checked > 100, "expected a substantial number of touched pages");
+    assert!(
+        checked > 100,
+        "expected a substantial number of touched pages"
+    );
     // The hot shared pages specifically must be shared by now.
     let shared_pages = os
         .page_table()
         .iter()
-        .filter(|(p, _)| layout.class_of_page(**p) == Some(AccessClass::SharedData))
+        .filter(|(p, _)| layout.class_of_page(*p) == Some(AccessClass::SharedData))
         .count();
     let converged = os
         .page_table()
         .iter()
         .filter(|(p, i)| {
-            layout.class_of_page(**p) == Some(AccessClass::SharedData) && i.class == PageClass::Shared
+            layout.class_of_page(*p) == Some(AccessClass::SharedData)
+                && i.class == PageClass::Shared
         })
         .count();
     assert!(

@@ -20,7 +20,9 @@ fn scenario_sweep_json_is_byte_identical_across_worker_pools() {
     matrix.designs = vec![
         LlcDesign::Shared,
         LlcDesign::rnuca_default(),
-        LlcDesign::Asr { policy: AsrPolicy::Static(0.5) },
+        LlcDesign::Asr {
+            policy: AsrPolicy::Static(0.5),
+        },
     ];
     matrix.core_counts = vec![16, 32];
     matrix.cluster_sizes = vec![2, 4];
@@ -45,7 +47,9 @@ fn experiment_seed_reaches_the_simulator() {
     // before the fix, the simulator RNG was pinned to a hardcoded constant
     // and only the trace stream changed.
     let spec = WorkloadSpec::oltp_db2();
-    let design = LlcDesign::Asr { policy: AsrPolicy::Static(0.5) };
+    let design = LlcDesign::Asr {
+        policy: AsrPolicy::Static(0.5),
+    };
     let mut a = small_cfg();
     let mut b = small_cfg();
     a.seed = 1;

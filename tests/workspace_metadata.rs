@@ -30,7 +30,12 @@ fn package_name(manifest: &str) -> String {
     manifest
         .lines()
         .skip_while(|l| l.trim() != "[package]")
-        .find_map(|l| l.trim().strip_prefix("name = \"")?.strip_suffix('"').map(String::from))
+        .find_map(|l| {
+            l.trim()
+                .strip_prefix("name = \"")?
+                .strip_suffix('"')
+                .map(String::from)
+        })
         .expect("manifest has a [package] name")
 }
 
@@ -42,9 +47,16 @@ fn every_crate_dir_is_a_workspace_member_with_a_manifest() {
         root_manifest.contains("members = [\"crates/*\", \"vendor/*\"]"),
         "root manifest must declare the crates/* and vendor/* member globs"
     );
-    for dir in subdirs(&root.join("crates")).iter().chain(subdirs(&root.join("vendor")).iter()) {
+    for dir in subdirs(&root.join("crates"))
+        .iter()
+        .chain(subdirs(&root.join("vendor")).iter())
+    {
         let manifest = dir.join("Cargo.toml");
-        assert!(manifest.is_file(), "{} is not a cargo package (no Cargo.toml)", dir.display());
+        assert!(
+            manifest.is_file(),
+            "{} is not a cargo package (no Cargo.toml)",
+            dir.display()
+        );
         assert!(
             dir.join("src/lib.rs").is_file(),
             "{} has no src/lib.rs library root",
@@ -59,7 +71,10 @@ fn every_workspace_crate_is_a_workspace_dependency() {
     let root_manifest = read(&root.join("Cargo.toml"));
     for dir in subdirs(&root.join("crates")) {
         let name = package_name(&read(&dir.join("Cargo.toml")));
-        let entry = format!("{name} = {{ path = \"crates/{}\" }}", dir.file_name().unwrap().to_str().unwrap());
+        let entry = format!(
+            "{name} = {{ path = \"crates/{}\" }}",
+            dir.file_name().unwrap().to_str().unwrap()
+        );
         assert!(
             root_manifest.contains(&entry),
             "[workspace.dependencies] is missing `{entry}` for {}",
@@ -101,7 +116,11 @@ fn every_bench_file_is_registered_and_vice_versa() {
     }
     // Criterion benches provide their own main; the libtest harness must be off.
     let harness_off = bench_manifest.matches("harness = false").count();
-    assert_eq!(harness_off, registered.len(), "every [[bench]] must set harness = false");
+    assert_eq!(
+        harness_off,
+        registered.len(),
+        "every [[bench]] must set harness = false"
+    );
 }
 
 #[test]
@@ -126,8 +145,10 @@ fn every_example_and_integration_test_file_is_rust_source() {
 #[test]
 fn every_crate_root_has_crate_docs_and_the_missing_docs_lint() {
     let root = repo_root();
-    let mut roots: Vec<PathBuf> =
-        subdirs(&root.join("crates")).iter().map(|d| d.join("src/lib.rs")).collect();
+    let mut roots: Vec<PathBuf> = subdirs(&root.join("crates"))
+        .iter()
+        .map(|d| d.join("src/lib.rs"))
+        .collect();
     roots.push(root.join("src/lib.rs"));
     for lib in roots {
         let text = read(&lib);

@@ -89,7 +89,10 @@ pub struct Bytes {
 impl Bytes {
     /// Wraps a static byte slice.
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes { data: data.to_vec(), start: 0 }
+        Bytes {
+            data: data.to_vec(),
+            start: 0,
+        }
     }
 
     /// Length of the current view.
@@ -105,7 +108,10 @@ impl Bytes {
     /// Copies out a sub-range of the view as a fresh buffer (the real crate
     /// shares storage here; this stand-in copies).
     pub fn slice(&self, range: Range<usize>) -> Bytes {
-        Bytes { data: self.as_ref()[range].to_vec(), start: 0 }
+        Bytes {
+            data: self.as_ref()[range].to_vec(),
+            start: 0,
+        }
     }
 }
 
@@ -150,7 +156,9 @@ impl BytesMut {
 
     /// An empty buffer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Current length in bytes.
@@ -165,7 +173,10 @@ impl BytesMut {
 
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, start: 0 }
+        Bytes {
+            data: self.data,
+            start: 0,
+        }
     }
 }
 

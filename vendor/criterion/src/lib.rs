@@ -30,12 +30,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id carrying both a function name and a parameter.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An id carrying only a parameter (the group provides the name).
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -63,7 +67,10 @@ impl Bencher {
 }
 
 fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
-    let mut bencher = Bencher { mean: Duration::ZERO, iters: 0 };
+    let mut bencher = Bencher {
+        mean: Duration::ZERO,
+        iters: 0,
+    };
     f(&mut bencher);
     println!(
         "bench: {name:<50} {:>12.3} ms/iter ({} iters)",
@@ -86,7 +93,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` against a borrowed `input`.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -128,7 +140,10 @@ impl Criterion {
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 
     /// Prints the closing tally; called by [`criterion_main!`].

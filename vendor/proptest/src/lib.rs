@@ -32,7 +32,10 @@ pub mod test_runner {
 
     /// Number of cases each property runs (64, or `PROPTEST_CASES`).
     pub fn cases() -> u32 {
-        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
     }
 
     /// Builds the per-test generator from the test's name, so every test

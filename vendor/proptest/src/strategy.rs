@@ -84,5 +84,7 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
 /// A strategy producing any value of `T`, e.g. `any::<bool>()`.
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }

@@ -98,7 +98,10 @@ pub trait Rng: RngCore {
     /// Returns `true` with probability `p`. Panics if `p` is outside
     /// `[0, 1]`, matching real rand 0.8.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} is outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p={p} is outside [0, 1]"
+        );
         self.gen::<f64>() < p
     }
 
