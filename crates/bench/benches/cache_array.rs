@@ -1,0 +1,102 @@
+//! Microbench: the flat-slab [`CacheArray`] hot paths the simulator leans on.
+//!
+//! Three mixes mirror the simulator's behaviour per L2 reference:
+//! `probe_hit` (steady-state resident working set), `probe_miss_fill` (a
+//! streaming scan that misses and fills through the single-probe entry-handle
+//! API, evicting on every fill once warm), and `invalidate_page_mix` (fills
+//! interleaved with R-NUCA-style page shoot-downs walking a page's block
+//! addresses). Run with `cargo bench -p rnuca-bench --bench cache_array`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rnuca_cache::{CacheArray, ProbeEntry};
+use rnuca_types::addr::BlockAddr;
+use rnuca_types::config::CacheGeometry;
+
+/// The server configuration's L2 slice: 1 MB, 16-way, 64 B blocks.
+fn slice_geometry() -> CacheGeometry {
+    CacheGeometry::new(1 << 20, 16, 64).unwrap()
+}
+
+fn b(n: u64) -> BlockAddr {
+    BlockAddr::from_block_number(n)
+}
+
+fn bench_probe_hit(c: &mut Criterion) {
+    let geometry = slice_geometry();
+    let mut cache: CacheArray<u32> = CacheArray::new(geometry);
+    // Resident working set: half the sets, half the ways.
+    let blocks: Vec<BlockAddr> = (0..(geometry.num_blocks() as u64 / 4))
+        .map(|n| b(n * 2))
+        .collect();
+    for &blk in &blocks {
+        cache.insert(blk, 1);
+    }
+    c.bench_function("cache_array_probe_hit", |bench| {
+        bench.iter(|| {
+            let mut hits = 0u64;
+            for &blk in &blocks {
+                hits += u64::from(cache.probe(black_box(blk)).is_some());
+            }
+            hits
+        })
+    });
+}
+
+fn bench_probe_miss_fill(c: &mut Criterion) {
+    let geometry = slice_geometry();
+    let mut cache: CacheArray<u32> = CacheArray::new(geometry);
+    let mut next = 0u64;
+    c.bench_function("cache_array_probe_miss_fill", |bench| {
+        bench.iter(|| {
+            // A fresh block number every iteration: always a miss, and once
+            // the array is warm every fill evicts the set's LRU way.
+            let mut evictions = 0u64;
+            for _ in 0..4096 {
+                let blk = b(next);
+                next += 1;
+                match cache.probe_entry(black_box(blk)) {
+                    ProbeEntry::Hit(_) => unreachable!("stream never repeats"),
+                    ProbeEntry::Miss(slot) => {
+                        let (_, evicted) = cache.fill_at(slot, blk, 1);
+                        evictions += u64::from(evicted.is_some());
+                    }
+                }
+            }
+            evictions
+        })
+    });
+}
+
+fn bench_invalidate_page_mix(c: &mut Criterion) {
+    let geometry = slice_geometry();
+    let blocks_per_page = 8192 / geometry.block_bytes as u64; // 8 KB pages
+    let mut cache: CacheArray<u32> = CacheArray::new(geometry);
+    let mut next = 0u64;
+    c.bench_function("cache_array_invalidate_page_mix", |bench| {
+        bench.iter(|| {
+            // Fill one page's worth of blocks, then shoot the page down the
+            // way an R-NUCA re-classification does: per-block invalidations.
+            let page_first = next;
+            for _ in 0..blocks_per_page {
+                let blk = b(next);
+                next += 1;
+                if let ProbeEntry::Miss(slot) = cache.probe_entry(blk) {
+                    cache.fill_at(slot, blk, 1);
+                }
+            }
+            let mut dropped = 0u64;
+            for n in page_first..page_first + blocks_per_page {
+                dropped += u64::from(cache.invalidate(black_box(b(n))).is_some());
+            }
+            dropped
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_probe_hit,
+    bench_probe_miss_fill,
+    bench_invalidate_page_mix
+);
+criterion_main!(benches);

@@ -63,6 +63,10 @@ pub struct PerfResult {
     pub total_cpi: f64,
     /// Off-chip rate of the measured window (deterministic).
     pub off_chip_rate: f64,
+    /// Wall-clock nanoseconds spent in the warm-up loop.
+    pub warmup_nanos: u64,
+    /// Wall-clock nanoseconds spent in the measured loop.
+    pub measured_nanos: u64,
     /// Wall-clock nanoseconds spent in the warm-up + measured loops.
     pub loop_nanos: u64,
     /// Throughput of the simulation loop: `refs / loop_nanos`.
@@ -76,6 +80,10 @@ pub struct PerfTotals {
     pub scenarios: usize,
     /// Total block references driven (all scenarios, warm-up + measured).
     pub refs: u64,
+    /// Summed warm-up time across scenarios, in nanoseconds.
+    pub warmup_nanos: u64,
+    /// Summed measured-window time across scenarios, in nanoseconds.
+    pub measured_nanos: u64,
     /// Summed loop time across scenarios, in nanoseconds.
     pub loop_nanos: u64,
     /// Wall-clock nanoseconds for the whole run (construction included).
@@ -98,7 +106,9 @@ pub struct PerfReport {
 }
 
 /// The version stamped into `BENCH_perf.json`; bump when the schema changes.
-pub const PERF_SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the per-phase counters (`warmup_nanos`/`measured_nanos`
+/// per scenario and in the totals).
+pub const PERF_SCHEMA_VERSION: u64 = 2;
 
 /// The representative workloads the perf suite times: a sharing-heavy server
 /// workload (OLTP DB2), a nearest-neighbour scientific code (em3d), and a
@@ -175,8 +185,9 @@ pub fn run_perf_scenarios(
 ) -> PerfReport {
     let start = Instant::now();
     let results = engine.run(scenarios, |_, s| {
-        let (run, loop_nanos) = time_scenario(s, cfg);
+        let (run, warmup_nanos, measured_nanos) = time_scenario(s, cfg);
         let refs = (cfg.warmup_refs + cfg.measured_refs) as u64;
+        let loop_nanos = warmup_nanos + measured_nanos;
         PerfResult {
             workload: s.workload.name.clone(),
             letter: s.design.letter(),
@@ -185,16 +196,22 @@ pub fn run_perf_scenarios(
             refs,
             total_cpi: run.total_cpi(),
             off_chip_rate: run.off_chip_rate,
+            warmup_nanos,
+            measured_nanos,
             loop_nanos,
             blocks_per_sec: per_sec(refs, loop_nanos),
         }
     });
     let elapsed_nanos = saturating_nanos(start.elapsed().as_nanos());
     let refs: u64 = results.iter().map(|r| r.refs).sum();
-    let loop_nanos: u64 = results.iter().map(|r| r.loop_nanos).sum();
+    let warmup_nanos: u64 = results.iter().map(|r| r.warmup_nanos).sum();
+    let measured_nanos: u64 = results.iter().map(|r| r.measured_nanos).sum();
+    let loop_nanos = warmup_nanos + measured_nanos;
     let totals = PerfTotals {
         scenarios: results.len(),
         refs,
+        warmup_nanos,
+        measured_nanos,
         loop_nanos,
         elapsed_nanos,
         blocks_per_sec: per_sec(refs, loop_nanos),
@@ -208,15 +225,20 @@ pub fn run_perf_scenarios(
 }
 
 /// Builds, warms, and measures one scenario, returning the measured run and
-/// the loop time in nanoseconds (construction excluded — the loop is the hot
-/// path the regression gate guards).
-fn time_scenario(s: &PerfScenario, cfg: &ExperimentConfig) -> (MeasuredRun, u64) {
+/// the per-phase loop times in nanoseconds (construction excluded — the loop
+/// is the hot path the regression gate guards). The warm-up phase is
+/// dominated by cold caches and map growth, the measured phase by
+/// steady-state behaviour; recording both makes phase-specific regressions
+/// visible instead of averaged away.
+fn time_scenario(s: &PerfScenario, cfg: &ExperimentConfig) -> (MeasuredRun, u64, u64) {
     let mut gen = TraceGenerator::new(&s.workload, cfg.seed);
     let mut sim = CmpSimulator::with_seed(s.design, &s.workload, cfg.seed);
     let t = Instant::now();
     sim.run_warmup(&mut gen, cfg.warmup_refs);
+    let warmup_nanos = saturating_nanos(t.elapsed().as_nanos());
+    let t = Instant::now();
     let run = sim.run_measured(&mut gen, cfg.measured_refs);
-    (run, saturating_nanos(t.elapsed().as_nanos()))
+    (run, warmup_nanos, saturating_nanos(t.elapsed().as_nanos()))
 }
 
 fn per_sec(count: u64, nanos: u64) -> f64 {
@@ -264,6 +286,7 @@ impl PerfReport {
             out.push_str(&format!(
                 "    {{\"workload\": {}, \"design\": {}, \"letter\": \"{}\", \
                  \"cores\": {}, \"refs\": {}, \"total_cpi\": {}, \"off_chip_rate\": {}, \
+                 \"warmup_nanos\": {}, \"measured_nanos\": {}, \
                  \"loop_nanos\": {}, \"blocks_per_sec\": {}}}",
                 json_string(&r.workload),
                 json_string(&r.design),
@@ -272,6 +295,8 @@ impl PerfReport {
                 r.refs,
                 r.total_cpi,
                 r.off_chip_rate,
+                tn(r.warmup_nanos),
+                tn(r.measured_nanos),
                 tn(r.loop_nanos),
                 t(r.blocks_per_sec),
             ));
@@ -283,10 +308,13 @@ impl PerfReport {
         }
         out.push_str("  ],\n");
         out.push_str(&format!(
-            "  \"totals\": {{\"scenarios\": {}, \"refs\": {}, \"loop_nanos\": {}, \
+            "  \"totals\": {{\"scenarios\": {}, \"refs\": {}, \
+             \"warmup_nanos\": {}, \"measured_nanos\": {}, \"loop_nanos\": {}, \
              \"elapsed_nanos\": {}, \"blocks_per_sec\": {}, \"jobs_per_sec\": {}}}",
             self.totals.scenarios,
             self.totals.refs,
+            tn(self.totals.warmup_nanos),
+            tn(self.totals.measured_nanos),
             tn(self.totals.loop_nanos),
             tn(self.totals.elapsed_nanos),
             t(self.totals.blocks_per_sec),
@@ -447,9 +475,14 @@ mod tests {
             report.totals.loop_nanos,
             report.results.iter().map(|r| r.loop_nanos).sum::<u64>()
         );
+        assert_eq!(
+            report.totals.loop_nanos,
+            report.totals.warmup_nanos + report.totals.measured_nanos
+        );
         for r in &report.results {
             assert!(r.total_cpi > 0.0);
             assert!(r.loop_nanos > 0, "the loop must take measurable time");
+            assert_eq!(r.loop_nanos, r.warmup_nanos + r.measured_nanos);
             assert!(r.blocks_per_sec > 0.0);
         }
         assert!(report.totals.blocks_per_sec > 0.0);
@@ -480,7 +513,7 @@ mod tests {
             doc.keys(),
             vec!["schema_version", "config", "scenarios", "totals"]
         );
-        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(2.0));
         let scenarios = doc.get("scenarios").unwrap().as_array().unwrap();
         assert_eq!(scenarios.len(), 2);
         for s in scenarios {
@@ -494,6 +527,8 @@ mod tests {
                     "refs",
                     "total_cpi",
                     "off_chip_rate",
+                    "warmup_nanos",
+                    "measured_nanos",
                     "loop_nanos",
                     "blocks_per_sec"
                 ]
@@ -503,6 +538,8 @@ mod tests {
         for key in [
             "scenarios",
             "refs",
+            "warmup_nanos",
+            "measured_nanos",
             "loop_nanos",
             "elapsed_nanos",
             "blocks_per_sec",

@@ -30,7 +30,7 @@ pub mod mshr;
 pub mod stats;
 pub mod victim;
 
-pub use array::{CacheArray, Eviction};
+pub use array::{CacheArray, EntryRef, Eviction, ProbeEntry, SetRef};
 pub use mshr::MshrFile;
 pub use stats::CacheStats;
 pub use victim::VictimCache;

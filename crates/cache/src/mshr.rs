@@ -7,7 +7,7 @@
 //! structural-hazard penalty.
 
 use rnuca_types::addr::BlockAddr;
-use std::collections::HashMap;
+use rnuca_types::index_map::U64Map;
 
 /// Outcome of trying to allocate an MSHR for a miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,10 +21,14 @@ pub enum MshrAllocation {
 }
 
 /// A bounded file of miss-status holding registers.
+///
+/// Outstanding misses are keyed by block number in an open-addressed
+/// [`U64Map`] — the same treatment the simulator's other per-access maps
+/// received — so allocate/release never pay SipHash.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    outstanding: HashMap<BlockAddr, u32>,
+    outstanding: U64Map<u32>,
     merges: u64,
     stalls: u64,
     allocations: u64,
@@ -40,7 +44,7 @@ impl MshrFile {
         assert!(capacity > 0, "an MSHR file needs at least one register");
         MshrFile {
             capacity,
-            outstanding: HashMap::new(),
+            outstanding: U64Map::with_capacity(capacity),
             merges: 0,
             stalls: 0,
             allocations: 0,
@@ -64,7 +68,7 @@ impl MshrFile {
 
     /// Attempts to allocate (or merge into) a register for a miss to `block`.
     pub fn allocate(&mut self, block: BlockAddr) -> MshrAllocation {
-        if let Some(waiters) = self.outstanding.get_mut(&block) {
+        if let Some(waiters) = self.outstanding.get_mut(block.block_number()) {
             *waiters += 1;
             self.merges += 1;
             return MshrAllocation::Merged;
@@ -73,7 +77,7 @@ impl MshrFile {
             self.stalls += 1;
             return MshrAllocation::Full;
         }
-        self.outstanding.insert(block, 1);
+        self.outstanding.insert(block.block_number(), 1);
         self.allocations += 1;
         MshrAllocation::Allocated
     }
@@ -83,12 +87,12 @@ impl MshrFile {
     /// Returns the number of requests that were waiting on it, or `None` if
     /// the block had no outstanding miss.
     pub fn release(&mut self, block: BlockAddr) -> Option<u32> {
-        self.outstanding.remove(&block)
+        self.outstanding.remove(block.block_number())
     }
 
     /// Returns `true` if `block` currently has an outstanding miss.
     pub fn is_outstanding(&self, block: BlockAddr) -> bool {
-        self.outstanding.contains_key(&block)
+        self.outstanding.contains_key(block.block_number())
     }
 
     /// Total primary-miss allocations.

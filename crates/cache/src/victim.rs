@@ -3,16 +3,35 @@
 //! Table 1 attaches a 16-entry victim cache to each L1 and L2 array. Evicted
 //! blocks are parked here; a subsequent miss that hits in the victim cache is
 //! serviced at array latency and the block is re-promoted.
+//!
+//! Like the main [`crate::CacheArray`], the buffer is stored flat: the tags
+//! sit in their own contiguous slab so the probe that runs on every slice
+//! miss is a vectorizable scan over a couple of cache lines, and metadata is
+//! only touched on a hit. FIFO order is kept by an intrusive doubly-linked
+//! list over the slots, so inserting a victim and dropping the oldest are
+//! both O(1) — the operations the fill path performs on every eviction.
 
 use crate::stats::CacheStats;
 use rnuca_types::addr::BlockAddr;
-use std::collections::VecDeque;
+
+/// Sentinel link meaning "no slot".
+const NIL: u8 = u8::MAX;
 
 /// A fully-associative FIFO victim buffer holding recently evicted blocks.
 #[derive(Debug, Clone)]
 pub struct VictimCache<T> {
     capacity: usize,
-    entries: VecDeque<(BlockAddr, T)>,
+    /// Tag slab; meaningful only where the occupancy bit is set.
+    tags: Vec<u64>,
+    metas: Vec<Option<T>>,
+    /// Intrusive FIFO list over the slots: `head` is the oldest victim (the
+    /// next dropped on overflow), `tail` the most recent insertion.
+    next: Vec<u8>,
+    prev: Vec<u8>,
+    head: u8,
+    tail: u8,
+    /// Bit `i` set = slot `i` holds a victim.
+    occupied: u64,
     stats: CacheStats,
 }
 
@@ -21,10 +40,23 @@ impl<T> VictimCache<T> {
     ///
     /// A zero capacity is allowed and produces a victim cache that never holds
     /// anything (useful to disable the structure in ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` exceeds 64 (the occupancy word is a `u64`).
     pub fn new(capacity: usize) -> Self {
+        assert!(capacity <= 64, "victim caches support at most 64 entries");
+        let mut metas = Vec::with_capacity(capacity);
+        metas.resize_with(capacity, || None);
         VictimCache {
             capacity,
-            entries: VecDeque::new(),
+            tags: vec![0; capacity],
+            metas,
+            next: vec![NIL; capacity],
+            prev: vec![NIL; capacity],
+            head: NIL,
+            tail: NIL,
+            occupied: 0,
             stats: CacheStats::default(),
         }
     }
@@ -36,17 +68,70 @@ impl<T> VictimCache<T> {
 
     /// Number of blocks currently held.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.occupied.count_ones() as usize
     }
 
     /// Returns `true` if no victims are held.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.occupied == 0
     }
 
     /// Accumulated statistics (hits = successful recalls, misses = failed probes).
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// The slot holding `block`, if parked here. When duplicate tags exist
+    /// (a block filled into the slice while an older copy sat here, then
+    /// evicted again) the oldest copy wins, which is what scanning the queue
+    /// from its head used to do.
+    #[inline]
+    fn find(&self, block: BlockAddr) -> Option<usize> {
+        let tag = block.block_number();
+        let mut hit_mask = 0u64;
+        for (i, &t) in self.tags.iter().enumerate() {
+            hit_mask |= u64::from(t == tag) << i;
+        }
+        hit_mask &= self.occupied;
+        if hit_mask == 0 {
+            return None;
+        }
+        if hit_mask & (hit_mask - 1) == 0 {
+            return Some(hit_mask.trailing_zeros() as usize);
+        }
+        // Rare duplicate-tag case: walk the FIFO list from the oldest end.
+        let mut i = self.head;
+        while i != NIL {
+            if hit_mask >> i & 1 == 1 {
+                return Some(i as usize);
+            }
+            i = self.next[i as usize];
+        }
+        unreachable!("occupied matches are always reachable from the head")
+    }
+
+    /// Unlinks `slot` from the FIFO list and clears its occupancy.
+    fn unlink(&mut self, slot: usize) {
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.occupied &= !(1 << slot);
+    }
+
+    fn take(&mut self, slot: usize) -> (BlockAddr, T) {
+        self.unlink(slot);
+        (
+            BlockAddr::from_block_number(self.tags[slot]),
+            self.metas[slot].take().expect("occupied slot has metadata"),
+        )
     }
 
     /// Inserts an evicted block. If the buffer is full the oldest victim is
@@ -56,22 +141,35 @@ impl<T> VictimCache<T> {
             return Some((block, meta));
         }
         self.stats.fills += 1;
-        let dropped = if self.entries.len() >= self.capacity {
+        let (slot, dropped) = if self.len() >= self.capacity {
             self.stats.evictions += 1;
-            self.entries.pop_front()
+            let oldest = self.head as usize;
+            let dropped = self.take(oldest);
+            (oldest, Some(dropped))
         } else {
-            None
+            ((!self.occupied).trailing_zeros() as usize, None)
         };
-        self.entries.push_back((block, meta));
+        self.tags[slot] = block.block_number();
+        self.metas[slot] = Some(meta);
+        self.occupied |= 1 << slot;
+        // Link at the tail (the youngest end).
+        self.prev[slot] = self.tail;
+        self.next[slot] = NIL;
+        if self.tail == NIL {
+            self.head = slot as u8;
+        } else {
+            self.next[self.tail as usize] = slot as u8;
+        }
+        self.tail = slot as u8;
         dropped
     }
 
     /// Attempts to recall a block, removing it from the buffer on success.
     pub fn recall(&mut self, block: BlockAddr) -> Option<T> {
-        match self.entries.iter().position(|(b, _)| *b == block) {
-            Some(idx) => {
+        match self.find(block) {
+            Some(slot) => {
                 self.stats.hits += 1;
-                self.entries.remove(idx).map(|(_, meta)| meta)
+                Some(self.take(slot).1)
             }
             None => {
                 self.stats.misses += 1;
@@ -82,19 +180,24 @@ impl<T> VictimCache<T> {
 
     /// Returns `true` if the block is currently parked here (no statistics side effects).
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.entries.iter().any(|(b, _)| *b == block)
+        self.find(block).is_some()
     }
 
     /// Removes a block without counting it as a recall (e.g. on invalidation).
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<T> {
-        let idx = self.entries.iter().position(|(b, _)| *b == block)?;
+        let slot = self.find(block)?;
         self.stats.invalidations += 1;
-        self.entries.remove(idx).map(|(_, meta)| meta)
+        Some(self.take(slot).1)
     }
 
     /// Removes all victims.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        for m in &mut self.metas {
+            *m = None;
+        }
+        self.occupied = 0;
+        self.head = NIL;
+        self.tail = NIL;
     }
 }
 
@@ -129,6 +232,37 @@ mod tests {
     }
 
     #[test]
+    fn fifo_order_survives_middle_removal() {
+        let mut v: VictimCache<u32> = VictimCache::new(3);
+        v.insert(b(1), 1);
+        v.insert(b(2), 2);
+        v.insert(b(3), 3);
+        // Recall the middle entry; the hole is refilled by the next insert
+        // but the drop order stays 1, then 3.
+        assert_eq!(v.recall(b(2)), Some(2));
+        v.insert(b(4), 4);
+        let dropped = v.insert(b(5), 5).expect("full");
+        assert_eq!(dropped, (b(1), 1));
+        let dropped = v.insert(b(6), 6).expect("full");
+        assert_eq!(dropped, (b(3), 3));
+    }
+
+    #[test]
+    fn sustained_churn_preserves_queue_order() {
+        // Overflow repeatedly so every slot is recycled several times; drops
+        // must always come out in insertion order.
+        let mut v: VictimCache<u64> = VictimCache::new(4);
+        let mut dropped = Vec::new();
+        for n in 0..32u64 {
+            if let Some((blk, meta)) = v.insert(b(n), n) {
+                assert_eq!(blk.block_number(), meta);
+                dropped.push(meta);
+            }
+        }
+        assert_eq!(dropped, (0..28).collect::<Vec<u64>>());
+    }
+
+    #[test]
     fn zero_capacity_rejects_everything() {
         let mut v: VictimCache<()> = VictimCache::new(0);
         assert_eq!(v.insert(b(1), ()), Some((b(1), ())));
@@ -153,5 +287,29 @@ mod tests {
         v.clear();
         assert!(v.is_empty());
         assert_eq!(v.capacity(), 4);
+        // The buffer is fully usable after a clear.
+        v.insert(b(3), ());
+        assert!(v.contains(b(3)));
+    }
+
+    #[test]
+    fn stale_tags_never_match_after_removal() {
+        let mut v: VictimCache<u32> = VictimCache::new(4);
+        v.insert(b(7), 70);
+        assert_eq!(v.recall(b(7)), Some(70));
+        // The tag slab still holds 7; occupancy must keep it from matching.
+        assert!(!v.contains(b(7)));
+        assert_eq!(v.recall(b(7)), None);
+    }
+
+    #[test]
+    fn duplicate_tags_recall_the_oldest_copy() {
+        let mut v: VictimCache<u32> = VictimCache::new(4);
+        v.insert(b(9), 1);
+        v.insert(b(8), 2);
+        v.insert(b(9), 3);
+        assert_eq!(v.recall(b(9)), Some(1), "queue order: oldest copy first");
+        assert_eq!(v.recall(b(9)), Some(3));
+        assert_eq!(v.recall(b(9)), None);
     }
 }

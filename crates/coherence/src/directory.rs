@@ -227,9 +227,13 @@ impl Directory {
     /// (the evicting tile was the owner of a dirty block).
     pub fn handle_eviction(&mut self, block: BlockAddr, tile: TileId) -> bool {
         self.check_tile(tile);
-        let Some(entry) = self.entries.get_mut(block.block_number()) else {
+        // Every eviction of a tracked block used to probe the entry table
+        // twice (lookup, then keyed removal once the sharer set drained);
+        // the slot handle makes the removal free.
+        let Some(slot) = self.entries.find_slot(block.block_number()) else {
             return false;
         };
+        let entry = self.entries.slot_value_mut(slot);
         let was_present = entry.sharers.remove(tile);
         if !was_present {
             return false;
@@ -245,7 +249,7 @@ impl Directory {
             entry.owner = entry.sharers.first();
         }
         if entry.sharers.is_empty() {
-            self.entries.remove(block.block_number());
+            self.entries.remove_slot(slot);
         }
         needs_writeback
     }

@@ -53,7 +53,12 @@ impl MemoryStats {
 /// The memory controllers and DRAM of the modelled system.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
-    page_bytes: usize,
+    /// `log2(page_bytes)`, so the per-request page extraction is a shift.
+    page_shift: u32,
+    /// `controllers - 1` when the controller count is a power of two (the
+    /// standard configurations); lets [`MemorySystem::controller_for`] mask
+    /// instead of dividing on the per-miss path.
+    ctrl_mask: Option<u64>,
     access_latency: Cycles,
     /// The tile each controller is co-located with.
     controller_tiles: Vec<TileId>,
@@ -72,8 +77,16 @@ impl MemorySystem {
         let n = config.num_mem_controllers();
         let spacing = config.memory.cores_per_controller;
         let controller_tiles = (0..n).map(|i| TileId::new(i * spacing)).collect();
+        // The shift-based page extraction below is only correct for
+        // power-of-two pages; the config validator enforces this, but the
+        // fields are public, so keep the guard local too.
+        debug_assert!(
+            config.memory.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         MemorySystem {
-            page_bytes: config.memory.page_bytes,
+            page_shift: config.memory.page_bytes.trailing_zeros(),
+            ctrl_mask: n.is_power_of_two().then_some(n as u64 - 1),
             access_latency: config.memory.access_latency,
             controller_tiles,
             per_controller_requests: vec![0; n],
@@ -92,9 +105,14 @@ impl MemorySystem {
     }
 
     /// The controller responsible for an address (round-robin page interleaving).
+    #[inline]
     pub fn controller_for(&self, addr: PhysAddr) -> MemCtrlId {
-        let page = addr.page(self.page_bytes).page_number();
-        MemCtrlId::new((page % self.controller_tiles.len() as u64) as usize)
+        let page = addr.value() >> self.page_shift;
+        let idx = match self.ctrl_mask {
+            Some(mask) => page & mask,
+            None => page % self.controller_tiles.len() as u64,
+        };
+        MemCtrlId::new(idx as usize)
     }
 
     /// The tile a controller is co-located with (where off-chip requests exit the NoC).
@@ -109,11 +127,21 @@ impl MemorySystem {
 
     /// Services an off-chip read, returning the DRAM latency charged.
     pub fn read(&mut self, addr: PhysAddr) -> Cycles {
+        self.read_via(addr);
+        self.access_latency
+    }
+
+    /// Services an off-chip read and returns the tile its controller sits
+    /// at — the fused form of [`MemorySystem::exit_tile_for`] +
+    /// [`MemorySystem::read`] the simulator's miss paths use, performing the
+    /// controller lookup once instead of twice.
+    #[inline]
+    pub fn read_via(&mut self, addr: PhysAddr) -> TileId {
         let ctrl = self.controller_for(addr);
         self.per_controller_requests[ctrl.index()] += 1;
         self.stats.reads += 1;
         self.stats.busy_cycles += self.access_latency.value();
-        self.access_latency
+        self.controller_tiles[ctrl.index()]
     }
 
     /// Services a dirty writeback, returning the DRAM latency charged.

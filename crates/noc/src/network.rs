@@ -27,7 +27,7 @@ impl Network {
         Network {
             topology,
             config,
-            stats: TrafficStats::new(),
+            stats: TrafficStats::new(topology, config.width, config.height),
             record_traffic: false,
         }
     }
@@ -121,7 +121,7 @@ impl Network {
 
     /// Resets the accumulated traffic statistics.
     pub fn reset_stats(&mut self) {
-        self.stats = TrafficStats::new();
+        self.stats = TrafficStats::new(self.topology, self.config.width, self.config.height);
     }
 
     /// Average network distance from `from` to every tile in `tiles`.

@@ -4,27 +4,43 @@
 //! centre. [`TrafficStats`] records how many flits cross each directed link so
 //! the topology ablation can measure exactly that: maximum link load, total
 //! flits, and the load imbalance ratio.
+//!
+//! Counters live in a flat `Vec` indexed by [`Topology::link_index`] — the
+//! dense per-tile/per-direction link id — so the per-hop recording path is an
+//! array increment instead of a hash-map entry probe.
 
+use crate::topology::Topology;
 use rnuca_types::ids::TileId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Directed link between two adjacent tiles.
 pub type Link = (TileId, TileId);
 
 /// Accumulated traffic counters for a network.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrafficStats {
-    flits_per_link: HashMap<Link, u64>,
+    topology: Topology,
+    width: usize,
+    height: usize,
+    /// Flits carried per directed link, indexed by [`Topology::link_index`].
+    flits_per_link: Vec<u64>,
     total_messages: u64,
     total_flits: u64,
     total_hops: u64,
 }
 
 impl TrafficStats {
-    /// Creates an empty set of counters.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates an empty set of counters for a `width x height` grid.
+    pub fn new(topology: Topology, width: usize, height: usize) -> Self {
+        TrafficStats {
+            topology,
+            width,
+            height,
+            flits_per_link: vec![0; Topology::num_links(width, height)],
+            total_messages: 0,
+            total_flits: 0,
+            total_hops: 0,
+        }
     }
 
     /// Records one message that followed `route` (a sequence of tiles) and
@@ -32,7 +48,10 @@ impl TrafficStats {
     pub fn record_route(&mut self, route: &[TileId], flits: u64) {
         self.total_messages += 1;
         for pair in route.windows(2) {
-            *self.flits_per_link.entry((pair[0], pair[1])).or_insert(0) += flits;
+            let idx = self
+                .topology
+                .link_index(pair[0], pair[1], self.width, self.height);
+            self.flits_per_link[idx] += flits;
             self.total_flits += flits;
             self.total_hops += 1;
         }
@@ -62,40 +81,66 @@ impl TrafficStats {
         }
     }
 
-    /// The most heavily loaded directed link and its flit count, if any traffic was recorded.
-    pub fn hottest_link(&self) -> Option<(Link, u64)> {
+    /// Iterates over the links that carried traffic and their flit counts.
+    fn active(&self) -> impl Iterator<Item = (Link, u64)> + '_ {
         self.flits_per_link
             .iter()
-            .max_by_key(|(link, &flits)| (flits, link.0.index(), link.1.index()))
-            .map(|(&link, &flits)| (link, flits))
+            .enumerate()
+            .filter(|(_, &flits)| flits > 0)
+            .map(|(idx, &flits)| {
+                (
+                    self.topology.link_from_index(idx, self.width, self.height),
+                    flits,
+                )
+            })
     }
 
-    /// Ratio of the hottest link's load to the mean link load (1.0 = perfectly balanced).
+    /// The most heavily loaded directed link and its flit count, if any traffic was recorded.
+    pub fn hottest_link(&self) -> Option<(Link, u64)> {
+        self.active()
+            .max_by_key(|&(link, flits)| (flits, link.0.index(), link.1.index()))
+    }
+
+    /// Ratio of the hottest link's load to the mean link load over the links
+    /// that carried traffic (1.0 = perfectly balanced).
     ///
     /// Returns `None` when no traffic has been recorded.
     pub fn imbalance(&self) -> Option<f64> {
-        if self.flits_per_link.is_empty() {
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut count = 0usize;
+        for &flits in &self.flits_per_link {
+            if flits > 0 {
+                max = max.max(flits);
+                sum += flits;
+                count += 1;
+            }
+        }
+        if count == 0 {
             return None;
         }
-        let max = self.flits_per_link.values().copied().max().unwrap_or(0) as f64;
-        let mean = self.flits_per_link.values().copied().sum::<u64>() as f64
-            / self.flits_per_link.len() as f64;
-        if mean == 0.0 {
-            None
-        } else {
-            Some(max / mean)
-        }
+        Some(max as f64 / (sum as f64 / count as f64))
     }
 
     /// Number of distinct directed links that carried any traffic.
     pub fn active_links(&self) -> usize {
-        self.flits_per_link.len()
+        self.flits_per_link.iter().filter(|&&f| f > 0).count()
     }
 
     /// Merges another set of counters into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets were recorded on different grids or topologies.
     pub fn merge(&mut self, other: &TrafficStats) {
-        for (&link, &flits) in &other.flits_per_link {
-            *self.flits_per_link.entry(link).or_insert(0) += flits;
+        assert!(
+            self.topology == other.topology
+                && self.width == other.width
+                && self.height == other.height,
+            "cannot merge traffic stats recorded on different networks"
+        );
+        for (mine, theirs) in self.flits_per_link.iter_mut().zip(&other.flits_per_link) {
+            *mine += theirs;
         }
         self.total_messages += other.total_messages;
         self.total_flits += other.total_flits;
@@ -111,9 +156,13 @@ mod tests {
         TileId::new(i)
     }
 
+    fn stats() -> TrafficStats {
+        TrafficStats::new(Topology::FoldedTorus, 4, 4)
+    }
+
     #[test]
     fn empty_stats() {
-        let s = TrafficStats::new();
+        let s = stats();
         assert_eq!(s.messages(), 0);
         assert_eq!(s.average_hops(), 0.0);
         assert!(s.hottest_link().is_none());
@@ -122,7 +171,7 @@ mod tests {
 
     #[test]
     fn record_single_route() {
-        let mut s = TrafficStats::new();
+        let mut s = stats();
         s.record_route(&[t(0), t(1), t(2)], 3);
         assert_eq!(s.messages(), 1);
         assert_eq!(s.hops(), 2);
@@ -133,7 +182,7 @@ mod tests {
 
     #[test]
     fn hottest_link_and_imbalance() {
-        let mut s = TrafficStats::new();
+        let mut s = stats();
         s.record_route(&[t(0), t(1)], 1);
         s.record_route(&[t(0), t(1)], 1);
         s.record_route(&[t(2), t(3)], 1);
@@ -146,7 +195,7 @@ mod tests {
 
     #[test]
     fn zero_hop_route_counts_message_only() {
-        let mut s = TrafficStats::new();
+        let mut s = stats();
         s.record_route(&[t(5)], 4);
         assert_eq!(s.messages(), 1);
         assert_eq!(s.hops(), 0);
@@ -154,15 +203,32 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_hops_use_distinct_link_slots() {
+        let mut s = stats();
+        // 0 -> 3 is a -x wraparound hop on the 4x4 torus; 0 -> 1 is +x.
+        s.record_route(&[t(0), t(3)], 1);
+        s.record_route(&[t(0), t(1)], 1);
+        assert_eq!(s.active_links(), 2);
+    }
+
+    #[test]
     fn merge_combines_counters() {
-        let mut a = TrafficStats::new();
+        let mut a = stats();
         a.record_route(&[t(0), t(1)], 1);
-        let mut b = TrafficStats::new();
+        let mut b = stats();
         b.record_route(&[t(0), t(1), t(2)], 2);
         a.merge(&b);
         assert_eq!(a.messages(), 2);
         assert_eq!(a.hops(), 3);
         assert_eq!(a.flit_hops(), 5);
         assert_eq!(a.active_links(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different networks")]
+    fn merging_different_grids_panics() {
+        let mut a = stats();
+        let b = TrafficStats::new(Topology::FoldedTorus, 4, 2);
+        a.merge(&b);
     }
 }

@@ -74,6 +74,51 @@ impl Topology {
         }
     }
 
+    /// Number of dense link indices on a `width x height` grid: four
+    /// outgoing directions (+x, -x, +y, -y) per tile. Mesh edges simply
+    /// leave their wraparound slots unused.
+    pub fn num_links(width: usize, height: usize) -> usize {
+        width * height * 4
+    }
+
+    /// Dense index of the directed link from `from` to the adjacent tile
+    /// `to`: `from * 4 + direction`. Both topologies use the same scheme, so
+    /// per-link counters can live in a flat array instead of a hash map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not one hop from `from` on this topology.
+    pub fn link_index(self, from: TileId, to: TileId, width: usize, height: usize) -> usize {
+        let (fx, fy) = from.coords(width);
+        let (tx, ty) = to.coords(width);
+        let dir = if ty == fy && tx == (fx + 1) % width {
+            0 // +x (east, possibly wrapping)
+        } else if ty == fy && tx == (fx + width - 1) % width {
+            1 // -x
+        } else if tx == fx && ty == (fy + 1) % height {
+            2 // +y
+        } else if tx == fx && ty == (fy + height - 1) % height {
+            3 // -y
+        } else {
+            panic!("{from} -> {to} is not a single hop on a {width}x{height} grid");
+        };
+        from.index() * 4 + dir
+    }
+
+    /// Inverse of [`Topology::link_index`]: the `(from, to)` tile pair of a
+    /// dense link index.
+    pub fn link_from_index(self, index: usize, width: usize, height: usize) -> (TileId, TileId) {
+        let from = TileId::new(index / 4);
+        let (fx, fy) = from.coords(width);
+        let (tx, ty) = match index % 4 {
+            0 => ((fx + 1) % width, fy),
+            1 => ((fx + width - 1) % width, fy),
+            2 => (fx, (fy + 1) % height),
+            _ => (fx, (fy + height - 1) % height),
+        };
+        (from, TileId::from_coords(tx, ty, width))
+    }
+
     /// Maximum shortest-path distance between any pair of tiles (the network diameter).
     pub fn diameter(self, width: usize, height: usize) -> u32 {
         match self {
@@ -182,6 +227,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn link_indices_are_dense_and_roundtrip() {
+        for &topo in &[Topology::FoldedTorus, Topology::Mesh] {
+            // Every hop of every route maps to a unique in-range index that
+            // round-trips back to the same (from, to) pair.
+            for a in 0..16 {
+                for b in 0..16 {
+                    let route = topo.route(TileId::new(a), TileId::new(b), W, H);
+                    for pair in route.windows(2) {
+                        let idx = topo.link_index(pair[0], pair[1], W, H);
+                        assert!(idx < Topology::num_links(W, H));
+                        assert_eq!(
+                            topo.link_from_index(idx, W, H),
+                            (pair[0], pair[1]),
+                            "{topo} link {} -> {}",
+                            pair[0],
+                            pair[1]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_adjacent_pairs_get_distinct_link_indices() {
+        let topo = Topology::FoldedTorus;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..16 {
+            let from = TileId::new(i);
+            for j in 0..16 {
+                let to = TileId::new(j);
+                if i != j && topo.hops(from, to, W, H) == 1 {
+                    assert!(
+                        seen.insert(topo.link_index(from, to, W, H)),
+                        "link {from} -> {to} collides"
+                    );
+                }
+            }
+        }
+        // A 4x4 torus has 4 outgoing links per tile, all distinct.
+        assert_eq!(seen.len(), Topology::num_links(W, H));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a single hop")]
+    fn non_adjacent_link_index_panics() {
+        Topology::Mesh.link_index(TileId::new(0), TileId::new(5), W, H);
     }
 
     #[test]

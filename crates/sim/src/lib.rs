@@ -56,4 +56,4 @@ pub use experiment::{DesignComparison, ExperimentConfig, RunResult, WorkloadResu
 pub use report::TextTable;
 pub use scenario::{ScenarioJob, ScenarioMatrix, ScenarioResult, ScenarioSweep};
 pub use simulator::{CmpSimulator, MeasuredRun};
-pub use tile::{BlockMeta, Tile};
+pub use tile::{BlockMeta, Tile, TileAccess};

@@ -11,11 +11,11 @@
 
 use crate::cpi::{CpiComponent, DetailedCpi};
 use crate::design::{AsrPolicy, LlcDesign};
-use crate::tile::{BlockMeta, Tile};
+use crate::tile::{BlockMeta, Tile, TileAccess};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rnuca::placement::{PlacementConfig, PlacementEngine};
-use rnuca_cache::CacheArray;
+use rnuca_cache::{CacheArray, ProbeEntry, SetRef};
 use rnuca_coherence::{Directory, ReadSource};
 use rnuca_mem::MemorySystem;
 use rnuca_noc::{Network, Topology};
@@ -100,7 +100,18 @@ pub struct CmpSimulator {
     config: SystemConfig,
     busy_cpi: f64,
     instr_per_ref: f64,
-    network: Network,
+    /// Precomputed one-way latencies, indexed `from * num_tiles + to`.
+    /// Every charge path consults these instead of recomputing grid
+    /// coordinates and serialization flits per query — for a fixed topology
+    /// and block size the answers never change.
+    control_lut: Vec<u32>,
+    data_lut: Vec<u32>,
+    /// Cached [`SystemConfig`] scalars read on every reference.
+    slice_latency: u64,
+    dram_latency: u64,
+    block_bytes: usize,
+    page_bytes: usize,
+    num_tiles: usize,
     tiles: Vec<Tile>,
     mem: MemorySystem,
     os: OsClassifier,
@@ -175,11 +186,36 @@ impl CmpSimulator {
             }
             _ => None,
         };
+        let network = Network::new(Topology::FoldedTorus, config.torus);
+        let num_tiles = config.num_tiles();
+        let block_bytes = config.l2_slice.geometry.block_bytes;
+        let mut control_lut = vec![0u32; num_tiles * num_tiles];
+        let mut data_lut = vec![0u32; num_tiles * num_tiles];
+        let lut_entry = |cycles: u64| -> u32 {
+            cycles
+                .try_into()
+                .expect("one-way network latency fits the 32-bit LUT entries")
+        };
+        for from in 0..num_tiles {
+            for to in 0..num_tiles {
+                let (f, t) = (TileId::new(from), TileId::new(to));
+                control_lut[from * num_tiles + to] =
+                    lut_entry(network.control_latency(f, t).value());
+                data_lut[from * num_tiles + to] =
+                    lut_entry(network.data_latency(f, t, block_bytes).value());
+            }
+        }
         CmpSimulator {
             design,
             busy_cpi: spec.busy_cpi,
             instr_per_ref: spec.instructions_per_l2_ref(),
-            network: Network::new(Topology::FoldedTorus, config.torus),
+            control_lut,
+            data_lut,
+            slice_latency: config.l2_slice.hit_latency.value(),
+            dram_latency: config.memory.access_latency.value(),
+            block_bytes,
+            page_bytes: config.memory.page_bytes,
+            num_tiles,
             tiles: (0..config.num_tiles())
                 .map(|i| Tile::new(TileId::new(i), &config))
                 .collect(),
@@ -237,23 +273,71 @@ impl CmpSimulator {
         self.drive(gen, n);
     }
 
-    /// Feeds `n` references from `gen` through [`Self::step`], generating
-    /// them in batches into a buffer reused across calls and windows, so the
-    /// run loop performs no per-access (or even per-batch) allocation. The
-    /// access sequence is identical to calling `gen.next_access()` `n`
-    /// times — the generator does not depend on simulator state.
+    /// Feeds `n` references from `gen` through the design's step path,
+    /// generating them in batches into a buffer reused across calls and
+    /// windows, so the run loop performs no per-access (or even per-batch)
+    /// allocation. The access sequence is identical to calling
+    /// `gen.next_access()` `n` times — the generator does not depend on
+    /// simulator state.
+    ///
+    /// The `match` on the design happens once per batch, not once per
+    /// access: each arm runs a monomorphized batch loop over the design's
+    /// step function, so the per-reference path is branch-predictable and
+    /// free of the dispatch [`Self::step`] performs.
     fn drive(&mut self, gen: &mut TraceGenerator, n: usize) {
         let mut buf = std::mem::take(&mut self.trace_buf);
         let mut remaining = n;
         while remaining > 0 {
             let batch = remaining.min(TRACE_BATCH);
             gen.generate_into(batch, &mut buf);
-            for access in &buf {
-                self.step(access);
+            match self.design {
+                LlcDesign::Ideal => self.run_batch::<false>(&buf, Self::step_ideal),
+                LlcDesign::Shared => {
+                    self.run_batch::<false>(&buf, |s, a| s.step_single_copy(a, None))
+                }
+                LlcDesign::RNuca { .. } => self.run_batch::<false>(&buf, Self::step_rnuca),
+                LlcDesign::Private => self.run_batch::<false>(&buf, Self::step_private_like),
+                LlcDesign::Asr { .. } => {
+                    if self.asr_adaptive {
+                        self.run_batch::<true>(&buf, Self::step_private_like)
+                    } else {
+                        self.run_batch::<false>(&buf, Self::step_private_like)
+                    }
+                }
             }
             remaining -= batch;
         }
         self.trace_buf = buf;
+    }
+
+    /// Runs one design-specialized batch: the shared per-access prologue,
+    /// the design's step function, and (for the adaptive ASR driver) the
+    /// controller epilogue. `ADAPT` is a compile-time flag so the other
+    /// designs pay nothing for the check.
+    fn run_batch<const ADAPT: bool>(
+        &mut self,
+        buf: &[MemoryAccess],
+        step: impl Fn(&mut Self, &MemoryAccess),
+    ) {
+        for access in buf {
+            self.pre_step();
+            step(self, access);
+            if ADAPT && self.measuring {
+                self.asr_adapt();
+            }
+        }
+    }
+
+    /// The bookkeeping shared by every step path: the reference clock, the
+    /// periodic dirty-map sweep, and the measured-access counter.
+    fn pre_step(&mut self) {
+        self.clock += 1;
+        if self.clock.is_multiple_of(L1_RESIDENCY_WINDOW) {
+            self.sweep_expired_l1_dirty();
+        }
+        if self.measuring {
+            self.measured_accesses += 1;
+        }
     }
 
     /// Runs `n` references from `gen` with statistics recording and returns the results.
@@ -285,14 +369,13 @@ impl CmpSimulator {
     }
 
     /// Processes a single L2 reference.
+    ///
+    /// The internal batch driver behind [`Self::run_warmup`] and
+    /// [`Self::run_measured`] does not go through this method — it
+    /// dispatches on the design once per batch instead of once per access —
+    /// but the per-reference behaviour here is identical.
     pub fn step(&mut self, access: &MemoryAccess) {
-        self.clock += 1;
-        if self.clock.is_multiple_of(L1_RESIDENCY_WINDOW) {
-            self.sweep_expired_l1_dirty();
-        }
-        if self.measuring {
-            self.measured_accesses += 1;
-        }
+        self.pre_step();
         match self.design {
             LlcDesign::Ideal => self.step_ideal(access),
             LlcDesign::Shared => self.step_single_copy(access, None),
@@ -327,25 +410,25 @@ impl CmpSimulator {
     // ----- cost helpers ---------------------------------------------------
 
     fn block_bytes(&self) -> usize {
-        self.config.l2_slice.geometry.block_bytes
+        self.block_bytes
     }
 
     fn slice_latency(&self) -> u64 {
-        self.config.l2_slice.hit_latency.value()
+        self.slice_latency
     }
 
     fn dram_latency(&self) -> u64 {
-        self.config.memory.access_latency.value()
+        self.dram_latency
     }
 
+    #[inline]
     fn control(&self, from: TileId, to: TileId) -> u64 {
-        self.network.control_latency(from, to).value()
+        u64::from(self.control_lut[from.index() * self.num_tiles + to.index()])
     }
 
+    #[inline]
     fn data(&self, from: TileId, to: TileId) -> u64 {
-        self.network
-            .data_latency(from, to, self.block_bytes())
-            .value()
+        u64::from(self.data_lut[from.index() * self.num_tiles + to.index()])
     }
 
     fn charge(&mut self, cycles: u64, component: CpiComponent) {
@@ -377,17 +460,17 @@ impl CmpSimulator {
 
     fn l1_dirty_owner(&mut self, block: BlockAddr, requester: CoreId) -> Option<CoreId> {
         let stamp = self.clock;
-        match self.l1_dirty.get(block.block_number()) {
-            Some(e)
-                if e.owner != requester && stamp.saturating_sub(e.stamp) < L1_RESIDENCY_WINDOW =>
-            {
-                Some(e.owner)
-            }
-            Some(e) if stamp.saturating_sub(e.stamp) >= L1_RESIDENCY_WINDOW => {
-                self.l1_dirty.remove(block.block_number());
-                None
-            }
-            _ => None,
+        // Single probe: the slot handle serves both the freshness check and
+        // the expired-entry removal.
+        let slot = self.l1_dirty.find_slot(block.block_number())?;
+        let e = *self.l1_dirty.slot_value(slot);
+        if stamp.saturating_sub(e.stamp) >= L1_RESIDENCY_WINDOW {
+            self.l1_dirty.remove_slot(slot);
+            None
+        } else if e.owner != requester {
+            Some(e.owner)
+        } else {
+            None
         }
     }
 
@@ -424,8 +507,8 @@ impl CmpSimulator {
     /// a handful of O(1) removals instead of the full-map `retain` scan the
     /// `HashMap`-backed version performed per re-classification.
     fn clear_dirty_page(&mut self, page: rnuca_types::addr::PageAddr) {
-        let block_bytes = self.config.l2_slice.geometry.block_bytes;
-        let page_bytes = self.config.memory.page_bytes;
+        let block_bytes = self.block_bytes;
+        let page_bytes = self.page_bytes;
         for block in page.blocks(block_bytes, page_bytes) {
             self.l1_dirty.remove(block.block_number());
         }
@@ -440,20 +523,21 @@ impl CmpSimulator {
 
     fn step_ideal(&mut self, access: &MemoryAccess) {
         let block = access.addr.block(self.block_bytes());
-        let page = access.addr.page(self.config.memory.page_bytes);
         let meta = BlockMeta {
             class: access.class,
-            page,
             dirty: access.kind.is_write(),
         };
         let cache = self
             .ideal_cache
             .as_mut()
             .expect("ideal design has an aggregate cache");
-        let hit = cache.probe(block).is_some();
-        if !hit {
-            cache.insert(block, meta);
-        }
+        let hit = match cache.probe_entry(block) {
+            ProbeEntry::Hit(_) => true,
+            ProbeEntry::Miss(slot) => {
+                cache.fill_at(slot, block, meta);
+                false
+            }
+        };
         if access.kind.is_write() {
             self.charge(STORE_COST, CpiComponent::Other);
         } else if hit {
@@ -461,12 +545,11 @@ impl CmpSimulator {
         } else {
             // Even the ideal design pays the trip to the memory controller and DRAM.
             let tile = access.core.tile();
-            let exit = self.mem.exit_tile_for(access.addr);
+            let exit = self.mem.read_via(access.addr);
             let cost = self.slice_latency()
                 + self.control(tile, exit)
                 + self.dram_latency()
                 + self.data(exit, tile);
-            self.mem.read(access.addr);
             self.charge_off_chip(cost, access.class);
         }
     }
@@ -480,7 +563,6 @@ impl CmpSimulator {
         let core = access.core;
         let tile = core.tile();
         let block = access.addr.block(self.block_bytes());
-        let page = access.addr.page(self.config.memory.page_bytes);
         let home = home_override.unwrap_or_else(|| self.placement.shared_home(block));
 
         // Remote-L1 dirty data: one L2/directory lookup at the home slice, then
@@ -505,7 +587,6 @@ impl CmpSimulator {
                     block,
                     BlockMeta {
                         class: access.class,
-                        page,
                         dirty: true,
                     },
                 );
@@ -513,40 +594,42 @@ impl CmpSimulator {
             return;
         }
 
-        let hit = self.tiles[home.index()].probe(block);
-        if hit {
-            let cost = self.control(tile, home) + self.slice_latency() + self.data(home, tile);
-            if access.kind.is_write() {
-                self.tiles[home.index()].mark_dirty(block);
-                self.note_write(block, core);
-                self.charge(STORE_COST, CpiComponent::Other);
-            } else {
-                self.charge_l2(cost, access.class, false);
+        match self.tiles[home.index()].access(block) {
+            TileAccess::Hit(entry) => {
+                if access.kind.is_write() {
+                    self.tiles[home.index()].meta_mut(entry).dirty = true;
+                    self.note_write(block, core);
+                    self.charge(STORE_COST, CpiComponent::Other);
+                } else {
+                    let cost =
+                        self.control(tile, home) + self.slice_latency() + self.data(home, tile);
+                    self.charge_l2(cost, access.class, false);
+                }
             }
-        } else {
-            // Off-chip: requester -> home -> memory controller -> home -> requester.
-            let exit = self.mem.exit_tile_for(access.addr);
-            let cost = self.control(tile, home)
-                + self.slice_latency()
-                + self.control(home, exit)
-                + self.dram_latency()
-                + self.data(exit, home)
-                + self.data(home, tile);
-            self.mem.read(access.addr);
-            self.fill_home(
-                home,
-                block,
-                BlockMeta {
-                    class: access.class,
-                    page,
-                    dirty: access.kind.is_write(),
-                },
-            );
-            if access.kind.is_write() {
-                self.note_write(block, core);
-                self.charge(STORE_COST, CpiComponent::Other);
-            } else {
-                self.charge_off_chip(cost, access.class);
+            TileAccess::Miss(slot) => {
+                // Off-chip: requester -> home -> memory controller -> home -> requester.
+                let exit = self.mem.read_via(access.addr);
+                let cost = self.control(tile, home)
+                    + self.slice_latency()
+                    + self.control(home, exit)
+                    + self.dram_latency()
+                    + self.data(exit, home)
+                    + self.data(home, tile);
+                self.fill_home_at(
+                    home,
+                    slot,
+                    block,
+                    BlockMeta {
+                        class: access.class,
+                        dirty: access.kind.is_write(),
+                    },
+                );
+                if access.kind.is_write() {
+                    self.note_write(block, core);
+                    self.charge(STORE_COST, CpiComponent::Other);
+                } else {
+                    self.charge_off_chip(cost, access.class);
+                }
             }
         }
     }
@@ -559,12 +642,22 @@ impl CmpSimulator {
         }
     }
 
+    /// [`Self::fill_home`] for a set already located by a probe miss: fills
+    /// through the handle instead of re-searching the slice.
+    fn fill_home_at(&mut self, home: TileId, slot: SetRef, block: BlockAddr, meta: BlockMeta) {
+        if let Some((evicted, evicted_meta)) = self.tiles[home.index()].fill_at(slot, block, meta) {
+            if evicted_meta.dirty {
+                self.mem.writeback(evicted.base_addr(self.block_bytes()));
+            }
+        }
+    }
+
     // ----- R-NUCA -----------------------------------------------------------
 
     fn step_rnuca(&mut self, access: &MemoryAccess) {
         let core = access.core;
         let block = access.addr.block(self.block_bytes());
-        let page = access.addr.page(self.config.memory.page_bytes);
+        let page = access.addr.page(self.page_bytes);
 
         let outcome = self.os.access(page, core, access.kind.is_instr_fetch());
 
@@ -586,7 +679,7 @@ impl CmpSimulator {
         match outcome.event {
             ClassificationEvent::Reclassified { previous_owner }
             | ClassificationEvent::OwnerMigrated { previous_owner } => {
-                let page_bytes = self.config.memory.page_bytes;
+                let page_bytes = self.page_bytes;
                 let invalidated =
                     self.tiles[previous_owner.index()].invalidate_page(page, page_bytes) as u64;
                 self.clear_dirty_page(page);
@@ -611,11 +704,9 @@ impl CmpSimulator {
         let core = access.core;
         let tile = core.tile();
         let block = access.addr.block(self.block_bytes());
-        let page = access.addr.page(self.config.memory.page_bytes);
         let dir_home = self.placement.shared_home(block);
         let meta = BlockMeta {
             class: access.class,
-            page,
             dirty: false,
         };
 
@@ -645,33 +736,37 @@ impl CmpSimulator {
 
         if access.kind.is_write() {
             // Stores: flat latency in "other"; state updates still performed.
-            self.tiles[tile.index()].probe(block);
+            // The single probe here doubles as the locator for the state
+            // update's metadata write or fill.
+            let outcome = self.tiles[tile.index()].access(block);
             self.charge(STORE_COST, CpiComponent::Other);
-            self.write_state_update(block, tile, meta, access);
+            self.write_state_update_at(block, tile, outcome, meta, access);
             self.note_write(block, core);
             return;
         }
 
         // Loads and instruction fetches.
-        if self.tiles[tile.index()].probe(block) {
-            self.charge_l2(self.slice_latency(), access.class, false);
-            return;
-        }
+        let slot = match self.tiles[tile.index()].access(block) {
+            TileAccess::Hit(_) => {
+                self.charge_l2(self.slice_latency(), access.class, false);
+                return;
+            }
+            TileAccess::Miss(slot) => slot,
+        };
 
         // Local miss: consult the distributed directory.
         let read = self.l2_directory.handle_read(block, tile);
         match read.source {
             ReadSource::Memory => {
-                let exit = self.mem.exit_tile_for(access.addr);
+                let exit = self.mem.read_via(access.addr);
                 let cost = self.slice_latency()
                     + self.control(tile, dir_home)
                     + self.slice_latency()
                     + self.control(dir_home, exit)
                     + self.dram_latency()
                     + self.data(exit, tile);
-                self.mem.read(access.addr);
                 self.charge_off_chip(cost, access.class);
-                self.fill_private(tile, block, meta, true);
+                self.fill_private_at(tile, slot, block, meta);
             }
             ReadSource::Cache(owner) => {
                 let cost = self.slice_latency()
@@ -681,9 +776,9 @@ impl CmpSimulator {
                     + self.slice_latency()
                     + self.data(owner, tile);
                 self.charge_l2(cost, access.class, true);
-                let allocate = self.asr_allows_allocation(access.class);
-                self.fill_private(tile, block, meta, allocate);
-                if !allocate {
+                if self.asr_allows_allocation(access.class) {
+                    self.fill_private_at(tile, slot, block, meta);
+                } else {
                     // ASR dropped the block instead of allocating it locally;
                     // tell the directory this tile holds no L2 copy.
                     self.l2_directory.handle_eviction(block, tile);
@@ -697,7 +792,8 @@ impl CmpSimulator {
         }
     }
 
-    /// Applies the coherence state changes of a store under the private designs.
+    /// Applies the coherence state changes of a store under the private
+    /// designs when no probe of the writer's slice preceded the call.
     fn write_state_update(
         &mut self,
         block: BlockAddr,
@@ -715,7 +811,32 @@ impl CmpSimulator {
         let mut dirty_meta = meta;
         dirty_meta.dirty = true;
         self.fill_private(tile, block, dirty_meta, true);
-        self.tiles[tile.index()].mark_dirty(block);
+    }
+
+    /// [`Self::write_state_update`] when the store path already probed the
+    /// writer's slice: the probe outcome locates the metadata write (hit) or
+    /// the fill set (miss), so the slice is searched exactly once per store.
+    fn write_state_update_at(
+        &mut self,
+        block: BlockAddr,
+        tile: TileId,
+        outcome: TileAccess,
+        meta: BlockMeta,
+        access: &MemoryAccess,
+    ) {
+        let write = self.l2_directory.handle_write(block, tile);
+        for victim_tile in write.invalidations.iter() {
+            self.tiles[victim_tile.index()].invalidate(block);
+        }
+        if write.source == ReadSource::Memory {
+            self.mem.read(access.addr);
+        }
+        let mut dirty_meta = meta;
+        dirty_meta.dirty = true;
+        match outcome {
+            TileAccess::Hit(entry) => *self.tiles[tile.index()].meta_mut(entry) = dirty_meta,
+            TileAccess::Miss(slot) => self.fill_private_at(tile, slot, block, dirty_meta),
+        }
     }
 
     /// Fills a block into a private slice (if the policy allocates it) and
@@ -725,6 +846,16 @@ impl CmpSimulator {
             return;
         }
         if let Some((evicted, evicted_meta)) = self.tiles[tile.index()].fill(block, meta) {
+            let writeback = self.l2_directory.handle_eviction(evicted, tile);
+            if writeback || evicted_meta.dirty {
+                self.mem.writeback(evicted.base_addr(self.block_bytes()));
+            }
+        }
+    }
+
+    /// [`Self::fill_private`] for a set already located by a probe miss.
+    fn fill_private_at(&mut self, tile: TileId, slot: SetRef, block: BlockAddr, meta: BlockMeta) {
+        if let Some((evicted, evicted_meta)) = self.tiles[tile.index()].fill_at(slot, block, meta) {
             let writeback = self.l2_directory.handle_eviction(evicted, tile);
             if writeback || evicted_meta.dirty {
                 self.mem.writeback(evicted.base_addr(self.block_bytes()));

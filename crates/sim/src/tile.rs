@@ -2,23 +2,45 @@
 //!
 //! A tile couples a core with its L2 slice (plus a small victim buffer). The
 //! simulator stores per-block metadata in the slice — the block's access
-//! class, its page (for R-NUCA page shoot-downs), and a dirty bit — and the
-//! tile exposes the small set of operations the design policies need.
+//! class and a dirty bit — and the tile exposes the small set of operations
+//! the design policies need, including the single-probe
+//! [`Tile::access`]/[`Tile::fill_at`] pair the hot loop uses.
 
-use rnuca_cache::{CacheArray, CacheStats, VictimCache};
+use rnuca_cache::{CacheArray, CacheStats, EntryRef, ProbeEntry, SetRef, VictimCache};
 use rnuca_types::access::AccessClass;
 use rnuca_types::addr::{BlockAddr, PageAddr};
 use rnuca_types::config::SystemConfig;
 use rnuca_types::ids::TileId;
 use serde::{Deserialize, Serialize};
 
+/// Outcome of a single-probe [`Tile::access`]: a located resident block, or
+/// the slice set a subsequent [`Tile::fill_at`] should fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileAccess {
+    /// The block is resident (in the slice, or re-promoted from the victim
+    /// buffer); the handle addresses its metadata.
+    Hit(EntryRef),
+    /// The block is absent from the tile; the handle locates the fill set.
+    Miss(SetRef),
+}
+
+impl TileAccess {
+    /// Returns `true` for a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, TileAccess::Hit(_))
+    }
+}
+
 /// Metadata stored with every block resident in an L2 slice.
+///
+/// Deliberately two bytes: the metadata slab is touched on every hit and
+/// fill, so its footprint is hot-loop state. (R-NUCA page shoot-downs walk
+/// the page's block addresses, so blocks do not need to remember their
+/// page.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlockMeta {
     /// Ground-truth access class of the block (used only for statistics).
     pub class: AccessClass,
-    /// The OS page the block belongs to (used for R-NUCA shoot-downs).
-    pub page: PageAddr,
     /// Whether the resident copy is dirty with respect to memory.
     pub dirty: bool,
 }
@@ -49,17 +71,48 @@ impl Tile {
     /// Looks up a block in the slice (checking the victim buffer on a miss and
     /// re-promoting on a victim hit). Returns `true` on a hit.
     pub fn probe(&mut self, block: BlockAddr) -> bool {
-        if self.slice.probe(block).is_some() {
-            return true;
+        self.access(block).is_hit()
+    }
+
+    /// Single-probe lookup: like [`Tile::probe`], but the returned handle
+    /// lets the caller update a hit's metadata or fill the missed set via
+    /// [`Tile::fill_at`] without a second tag search. A victim-buffer hit is
+    /// re-promoted into the slice (anything displaced goes back to the
+    /// buffer) and reported as a hit.
+    pub fn access(&mut self, block: BlockAddr) -> TileAccess {
+        match self.slice.probe_entry(block) {
+            ProbeEntry::Hit(entry) => TileAccess::Hit(entry),
+            ProbeEntry::Miss(slot) => match self.victims.recall(block) {
+                Some(meta) => {
+                    let (entry, evicted) = self.slice.fill_at(slot, block, meta);
+                    if let Some(ev) = evicted {
+                        self.victims.insert(ev.block, ev.meta);
+                    }
+                    TileAccess::Hit(entry)
+                }
+                None => TileAccess::Miss(slot),
+            },
         }
-        if let Some(meta) = self.victims.recall(block) {
-            // Re-promote from the victim buffer; anything displaced goes back there.
-            if let Some(ev) = self.slice.insert(block, meta) {
-                self.victims.insert(ev.block, ev.meta);
-            }
-            return true;
-        }
-        false
+    }
+
+    /// The metadata of a resident block located by [`Tile::access`].
+    pub fn meta_mut(&mut self, entry: EntryRef) -> &mut BlockMeta {
+        self.slice.entry_meta_mut(entry)
+    }
+
+    /// Fills a block into the slice set a preceding [`Tile::access`] miss
+    /// searched, skipping the re-scan [`Tile::fill`] would perform. Returns
+    /// the block that left the tile entirely (fell out of both the slice and
+    /// the victim buffer), which is what the directory needs to know about.
+    pub fn fill_at(
+        &mut self,
+        slot: SetRef,
+        block: BlockAddr,
+        meta: BlockMeta,
+    ) -> Option<(BlockAddr, BlockMeta)> {
+        let (_, evicted) = self.slice.fill_at(slot, block, meta);
+        let evicted = evicted?;
+        self.victims.insert(evicted.block, evicted.meta)
     }
 
     /// Checks residency without disturbing replacement state.
@@ -142,10 +195,9 @@ impl Tile {
 mod tests {
     use super::*;
 
-    fn meta(class: AccessClass, page: u64) -> BlockMeta {
+    fn meta(class: AccessClass) -> BlockMeta {
         BlockMeta {
             class,
-            page: PageAddr::from_page_number(page),
             dirty: false,
         }
     }
@@ -162,7 +214,7 @@ mod tests {
     fn probe_miss_then_fill_then_hit() {
         let mut t = tile();
         assert!(!t.probe(b(1)));
-        assert!(t.fill(b(1), meta(AccessClass::PrivateData, 0)).is_none());
+        assert!(t.fill(b(1), meta(AccessClass::PrivateData)).is_none());
         assert!(t.probe(b(1)));
         assert!(t.contains(b(1)));
         assert_eq!(t.resident_blocks(), 1);
@@ -174,7 +226,7 @@ mod tests {
         // The server L2 slice has 1024 sets x 16 ways; blocks that share set 0
         // are multiples of 1024. Fill 17 of them to force one eviction.
         for i in 0..17u64 {
-            t.fill(b(i * 1024), meta(AccessClass::PrivateData, i));
+            t.fill(b(i * 1024), meta(AccessClass::PrivateData));
         }
         // The LRU block (block 0) fell out of the slice but sits in the victim buffer.
         assert_eq!(t.resident_blocks(), 16);
@@ -189,7 +241,7 @@ mod tests {
     fn mark_dirty_only_affects_resident_blocks() {
         let mut t = tile();
         assert!(!t.mark_dirty(b(9)));
-        t.fill(b(9), meta(AccessClass::SharedData, 1));
+        t.fill(b(9), meta(AccessClass::SharedData));
         assert!(t.mark_dirty(b(9)));
     }
 
@@ -199,10 +251,10 @@ mod tests {
         // 8 KB pages of 64 B blocks: page 7 spans blocks 896..1024.
         let page_bytes = 8192;
         let first = 7 * (page_bytes as u64 / 64);
-        t.fill(b(first), meta(AccessClass::PrivateData, 7));
-        t.fill(b(first + 1), meta(AccessClass::PrivateData, 7));
+        t.fill(b(first), meta(AccessClass::PrivateData));
+        t.fill(b(first + 1), meta(AccessClass::PrivateData));
         let other = 8 * (page_bytes as u64 / 64);
-        t.fill(b(other), meta(AccessClass::PrivateData, 8));
+        t.fill(b(other), meta(AccessClass::PrivateData));
         assert_eq!(
             t.invalidate_page(PageAddr::from_page_number(7), page_bytes),
             2
@@ -219,7 +271,7 @@ mod tests {
     #[test]
     fn invalidate_single_block() {
         let mut t = tile();
-        t.fill(b(5), meta(AccessClass::Instruction, 2));
+        t.fill(b(5), meta(AccessClass::Instruction));
         assert!(t.invalidate(b(5)).is_some());
         assert!(t.invalidate(b(5)).is_none());
     }
@@ -227,10 +279,10 @@ mod tests {
     #[test]
     fn class_occupancy_counts() {
         let mut t = tile();
-        t.fill(b(1), meta(AccessClass::Instruction, 0));
-        t.fill(b(2), meta(AccessClass::PrivateData, 0));
-        t.fill(b(3), meta(AccessClass::PrivateData, 0));
-        t.fill(b(4), meta(AccessClass::SharedData, 0));
+        t.fill(b(1), meta(AccessClass::Instruction));
+        t.fill(b(2), meta(AccessClass::PrivateData));
+        t.fill(b(3), meta(AccessClass::PrivateData));
+        t.fill(b(4), meta(AccessClass::SharedData));
         assert_eq!(t.class_occupancy(), (1, 2, 1));
     }
 }

@@ -22,6 +22,11 @@ const FIB_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Smallest number of slots a non-empty map allocates.
 const MIN_SLOTS: usize = 16;
 
+/// Opaque handle to an occupied slot of a [`U64Map`], returned by
+/// [`U64Map::find_slot`]. Valid until the next insertion or removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot(usize);
+
 /// An open-addressed, linear-probing hash map from `u64` keys to `V`.
 ///
 /// # Example
@@ -112,6 +117,40 @@ impl<V> U64Map<V> {
             .map(|i| &self.slots[i].as_ref().expect("found slot is occupied").1)
     }
 
+    /// Locates a key, returning an opaque slot handle that gives the caller
+    /// read, write, and remove access without re-probing — the map-level
+    /// analogue of the cache array's entry handles. The handle is
+    /// invalidated by any subsequent insertion or removal.
+    pub fn find_slot(&self, key: u64) -> Option<Slot> {
+        self.find(key).map(Slot)
+    }
+
+    /// The value of a slot located by [`U64Map::find_slot`].
+    pub fn slot_value(&self, slot: Slot) -> &V {
+        &self.slots[slot.0]
+            .as_ref()
+            .expect("slot handle is occupied")
+            .1
+    }
+
+    /// Mutable access to the value of a slot located by [`U64Map::find_slot`].
+    pub fn slot_value_mut(&mut self, slot: Slot) -> &mut V {
+        &mut self.slots[slot.0]
+            .as_mut()
+            .expect("slot handle is occupied")
+            .1
+    }
+
+    /// Removes the entry in a slot located by [`U64Map::find_slot`],
+    /// skipping the probe [`U64Map::remove`] would repeat. Uses the same
+    /// backward-shift deletion, so no tombstones accumulate.
+    pub fn remove_slot(&mut self, slot: Slot) -> V {
+        let (_, value) = self.slots[slot.0].take().expect("slot handle is occupied");
+        self.len -= 1;
+        self.backward_shift(slot.0);
+        value
+    }
+
     /// Looks up a key mutably.
     pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
         let i = self.find(key)?;
@@ -178,9 +217,16 @@ impl<V> U64Map<V> {
     /// are moved up so no tombstones accumulate and lookups never slow down
     /// as the map churns.
     pub fn remove(&mut self, key: u64) -> Option<V> {
-        let mut hole = self.find(key)?;
+        let hole = self.find(key)?;
         let (_, value) = self.slots[hole].take().expect("found slot is occupied");
         self.len -= 1;
+        self.backward_shift(hole);
+        Some(value)
+    }
+
+    /// Closes the probe-chain hole left at `hole` by a removal, moving
+    /// subsequent entries of the chain up so no tombstones accumulate.
+    fn backward_shift(&mut self, mut hole: usize) {
         let mask = self.mask();
         let mut i = hole;
         loop {
@@ -197,7 +243,6 @@ impl<V> U64Map<V> {
                 hole = i;
             }
         }
-        Some(value)
     }
 
     /// Keeps only the entries for which the predicate returns `true`.
@@ -403,6 +448,28 @@ mod tests {
     }
 
     #[test]
+    fn slot_handles_read_write_and_remove_without_reprobe() {
+        let mut m: U64Map<u32> = U64Map::new();
+        for i in 0..64 {
+            m.insert(i * 31, i as u32);
+        }
+        assert!(m.find_slot(999).is_none());
+        let slot = m.find_slot(5 * 31).expect("key present");
+        assert_eq!(m.slot_value(slot), &5);
+        *m.slot_value_mut(slot) = 50;
+        assert_eq!(m.get(5 * 31), Some(&50));
+        assert_eq!(m.remove_slot(slot), 50);
+        assert_eq!(m.get(5 * 31), None);
+        assert_eq!(m.len(), 63);
+        // Backward-shift after a slot removal keeps every other key reachable.
+        for i in 0..64u64 {
+            if i != 5 {
+                assert!(m.contains_key(i * 31), "key {i} lost after slot removal");
+            }
+        }
+    }
+
+    #[test]
     fn debug_formats_as_a_map() {
         let mut m: U64Map<u8> = U64Map::new();
         m.insert(1, 2);
@@ -428,7 +495,14 @@ mod tests {
                     assert_eq!(ours.insert(key, step), reference.insert(key, step));
                 }
                 5..=7 => {
-                    assert_eq!(ours.remove(key), reference.remove(&key));
+                    // Alternate between keyed removal and slot-handle removal
+                    // so backward-shift is exercised through both entry points.
+                    let removed = if step % 2 == 0 {
+                        ours.remove(key)
+                    } else {
+                        ours.find_slot(key).map(|s| ours.remove_slot(s))
+                    };
+                    assert_eq!(removed, reference.remove(&key));
                 }
                 8 => {
                     assert_eq!(ours.get(key), reference.get(&key));
