@@ -1,0 +1,64 @@
+//! Microbench: streaming trace generation vs shared-arena replay.
+//!
+//! The trace arena's premise is that decoding a packed slab is much cheaper
+//! than re-drawing the stream from the RNG. This bench times both
+//! [`TraceSource`] implementations producing the identical reference batch —
+//! `generate` draws every reference through the two-level locality model,
+//! `replay` linearly decodes the memoized structure-of-arrays slab — plus
+//! the one-time slab materialization the arena amortizes across designs.
+//! Run with `cargo bench -p rnuca-bench --bench trace_replay`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rnuca_workloads::{TraceArena, TraceGenerator, TraceSource, WorkloadSpec};
+
+/// References per timed batch: the simulator's `TRACE_BATCH` size.
+const BATCH: usize = 4_096;
+/// Slab length for the replay benches: enough batches to spoil any
+/// first-touch effects without making setup slow.
+const SLAB_LEN: usize = 64 * BATCH;
+
+fn bench_streaming_generation(c: &mut Criterion) {
+    let spec = WorkloadSpec::oltp_db2();
+    let mut gen = TraceGenerator::new(&spec, 42);
+    let mut buf = Vec::new();
+    c.bench_function("trace_streaming_generate", |bench| {
+        bench.iter(|| {
+            gen.fill_into(black_box(BATCH), &mut buf);
+            buf.len()
+        })
+    });
+}
+
+fn bench_arena_replay(c: &mut Criterion) {
+    let spec = WorkloadSpec::oltp_db2();
+    let arena = TraceArena::new();
+    arena.populate(&spec, 42, SLAB_LEN);
+    let mut slice = arena.slice(&spec, 42, SLAB_LEN);
+    let mut buf = Vec::new();
+    c.bench_function("trace_arena_replay", |bench| {
+        bench.iter(|| {
+            if slice.remaining() < BATCH {
+                slice = arena.slice(&spec, 42, SLAB_LEN);
+            }
+            slice.fill_into(black_box(BATCH), &mut buf);
+            buf.len()
+        })
+    });
+}
+
+fn bench_slab_materialization(c: &mut Criterion) {
+    // The cost replay amortizes: materializing one batch worth of stream
+    // into a fresh slab (the arena pays this once per unique key).
+    let spec = WorkloadSpec::oltp_db2();
+    c.bench_function("trace_slab_materialize", |bench| {
+        bench.iter(|| rnuca_workloads::TraceSlab::generate(&spec, black_box(42), BATCH).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_streaming_generation,
+    bench_arena_replay,
+    bench_slab_materialization
+);
+criterion_main!(benches);

@@ -22,9 +22,18 @@
 //! path). With `--baseline=bench/baseline.json` it also evaluates the
 //! perf-regression gate and exits non-zero when aggregate blocks/sec drops
 //! below the baseline's tolerance — the CI perf gate. Like `sweep`, `perf`
-//! is not part of `all`.
+//! is not part of `all`. `--filter=SUBSTRING` keeps only the scenarios whose
+//! `workload/letter/design/Ncores` label contains the substring
+//! (case-insensitive, e.g. `--filter=em3d` or `--filter=/R/`) for fast local
+//! iteration; a filtered run skips the gate, whose baseline only means
+//! anything for the full scenario list, and writes a report file only when
+//! `--out=` is explicit (a partial report must not clobber the checked-in
+//! `BENCH_perf.json`).
 
-use rnuca_bench::{characterize_workload, evaluate_gate, run_perf, PerfBaseline};
+use rnuca_bench::{
+    characterize_workload, default_perf_scenarios, evaluate_gate, filter_scenarios,
+    run_perf_scenarios, PerfBaseline,
+};
 use rnuca_os::rid_assignment;
 use rnuca_sim::report::{fmt3, fmt_pct};
 use rnuca_sim::{DesignComparison, ExperimentConfig, ExperimentEngine, TextTable};
@@ -54,11 +63,14 @@ fn main() {
     let perf_out = args
         .iter()
         .find_map(|a| a.strip_prefix("--out="))
-        .unwrap_or("BENCH_perf.json")
-        .to_string();
+        .map(String::from);
     let baseline_path = args
         .iter()
         .find_map(|a| a.strip_prefix("--baseline="))
+        .map(String::from);
+    let perf_filter = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--filter="))
         .map(String::from);
     let targets: Vec<String> = args
         .iter()
@@ -120,8 +132,9 @@ fn main() {
                 &cfg,
                 cfg_label,
                 &engine,
-                &perf_out,
+                perf_out.as_deref(),
                 baseline_path.as_deref(),
+                perf_filter.as_deref(),
             ),
             "all" => {
                 table1();
@@ -157,17 +170,41 @@ fn sweep(cfg: ExperimentConfig, engine: &ExperimentEngine) {
 
 /// The timed throughput suite: writes `BENCH_perf.json` to `out` and, when a
 /// baseline is given, evaluates the regression gate (exiting non-zero on
-/// failure, which is how CI turns a perf regression into a red build).
+/// failure, which is how CI turns a perf regression into a red build). A
+/// `--filter` substring restricts the scenario list for local iteration —
+/// and skips the gate, since the baseline numbers describe the full list.
+/// A filtered run also refuses the default output path: its partial report
+/// would silently clobber the checked-in full-configuration record, so the
+/// report is written only when `--out=` names a destination explicitly.
 fn perf(
     cfg: &ExperimentConfig,
     cfg_label: &str,
     engine: &ExperimentEngine,
-    out: &str,
+    out: Option<&str>,
     baseline: Option<&str>,
+    filter: Option<&str>,
 ) {
     heading("perf: timed end-to-end throughput");
-    let report = run_perf(cfg, engine);
-    let gate = baseline.map(|path| {
+    let scenarios = match filter {
+        Some(f) => {
+            let kept = filter_scenarios(default_perf_scenarios(), f);
+            if kept.is_empty() {
+                exit_with(&format!("--filter={f} matches no perf scenario"));
+            }
+            println!(
+                "filter '{f}': {} of {} scenarios",
+                kept.len(),
+                default_perf_scenarios().len()
+            );
+            kept
+        }
+        None => default_perf_scenarios(),
+    };
+    let report = run_perf_scenarios(&scenarios, cfg, engine);
+    if filter.is_some() && baseline.is_some() {
+        println!("note: --filter active, skipping the regression gate (baseline covers the full scenario list)");
+    }
+    let gate = baseline.filter(|_| filter.is_none()).map(|path| {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| exit_with(&format!("cannot read baseline {path}: {e}")));
         let parsed = PerfBaseline::from_json(&text, cfg_label)
@@ -178,13 +215,32 @@ fn perf(
         Some(g) => report.to_json_with_gate(g),
         None => report.to_json(),
     };
-    std::fs::write(out, &json).unwrap_or_else(|e| exit_with(&format!("cannot write {out}: {e}")));
+    // A filtered (partial) report must never land on the default path,
+    // where it would overwrite the checked-in full-configuration record.
+    let destination = match (out, filter) {
+        (Some(path), _) => Some(path),
+        (None, None) => Some("BENCH_perf.json"),
+        (None, Some(_)) => None,
+    };
+    let written = match destination {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| exit_with(&format!("cannot write {path}: {e}")));
+            path
+        }
+        None => {
+            println!("note: --filter active and no --out= given, not writing a report file");
+            "(not written)"
+        }
+    };
     println!(
-        "{} scenarios, {} refs, {:.0} blocks/sec (hot path), {:.2} jobs/sec -> {out}",
+        "{} scenarios, {} refs, {:.0} blocks/sec (hot path), {:.2} jobs/sec, \
+         {:.2}s trace generation (once per unique stream) -> {written}",
         report.totals.scenarios,
         report.totals.refs,
         report.totals.blocks_per_sec,
         report.totals.jobs_per_sec,
+        report.totals.tracegen_nanos as f64 / 1e9,
     );
     if let Some(g) = gate {
         println!(

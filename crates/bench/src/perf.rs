@@ -14,12 +14,15 @@
 //!
 //! * **blocks/sec** — simulated L2 block references driven through
 //!   [`CmpSimulator::step`] per second of *loop time* (the warm-up plus
-//!   measured windows, excluding simulator construction). Loop time is
-//!   summed across scenarios, so the aggregate is largely independent of the
-//!   worker-pool size: it measures the hot path, not the parallelism.
+//!   measured windows, excluding simulator construction and — since schema
+//!   v3 — trace generation, which happens once per unique stream in the
+//!   shared [`TraceArena`] and is reported as the totals' `tracegen_nanos`).
+//!   Loop time is summed across scenarios, so the aggregate is largely
+//!   independent of the worker-pool size: it measures the hot path, not the
+//!   parallelism.
 //! * **jobs/sec** — scenarios completed per second of wall-clock time for
-//!   the whole run. This one *does* scale with workers and construction
-//!   cost; it is the end-to-end figure.
+//!   the whole run. This one *does* scale with workers, construction, and
+//!   generation cost; it is the end-to-end figure.
 //!
 //! Everything except the timing fields is a pure function of the scenario
 //! list and the [`ExperimentConfig`]: [`PerfReport::to_canonical_json`]
@@ -31,7 +34,8 @@ use rnuca_sim::{
     AsrPolicy, CmpSimulator, ExperimentConfig, ExperimentEngine, LlcDesign, MeasuredRun,
 };
 use rnuca_types::config::ConfigPoint;
-use rnuca_workloads::{TraceGenerator, WorkloadSpec};
+use rnuca_workloads::{TraceArena, TraceKey, WorkloadSpec};
+use std::collections::HashSet;
 use std::time::Instant;
 
 /// One timed simulation: a workload pinned to a core count, under one design.
@@ -43,6 +47,31 @@ pub struct PerfScenario {
     pub design: LlcDesign,
     /// The resolved core count (recorded for labelling).
     pub cores: usize,
+}
+
+impl PerfScenario {
+    /// The scenario's rendered label: `workload/letter/design/Ncores` — the
+    /// string `figures perf --filter=<substring>` matches against.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}c",
+            self.workload.name,
+            self.design.letter(),
+            self.design,
+            self.cores
+        )
+    }
+}
+
+/// Keeps the scenarios whose [`PerfScenario::label`] contains `filter`
+/// (case-insensitive) — the engine behind `figures perf --filter=`, for
+/// fast local perf iteration on a scenario subset.
+pub fn filter_scenarios(scenarios: Vec<PerfScenario>, filter: &str) -> Vec<PerfScenario> {
+    let needle = filter.to_lowercase();
+    scenarios
+        .into_iter()
+        .filter(|s| s.label().to_lowercase().contains(&needle))
+        .collect()
 }
 
 /// The timing and deterministic results of one scenario.
@@ -80,13 +109,20 @@ pub struct PerfTotals {
     pub scenarios: usize,
     /// Total block references driven (all scenarios, warm-up + measured).
     pub refs: u64,
+    /// Wall-clock nanoseconds spent materializing the unique reference
+    /// streams into the trace arena, before any scenario loop ran. Schema
+    /// v3 reports this separately from simulation time: generation happens
+    /// once per unique `(workload, cores, seed)` stream, not once per
+    /// scenario, and is excluded from `loop_nanos`.
+    pub tracegen_nanos: u64,
     /// Summed warm-up time across scenarios, in nanoseconds.
     pub warmup_nanos: u64,
     /// Summed measured-window time across scenarios, in nanoseconds.
     pub measured_nanos: u64,
     /// Summed loop time across scenarios, in nanoseconds.
     pub loop_nanos: u64,
-    /// Wall-clock nanoseconds for the whole run (construction included).
+    /// Wall-clock nanoseconds for the whole run (construction and trace
+    /// generation included).
     pub elapsed_nanos: u64,
     /// Aggregate hot-path throughput: `refs / loop_nanos`.
     pub blocks_per_sec: f64,
@@ -107,8 +143,13 @@ pub struct PerfReport {
 
 /// The version stamped into `BENCH_perf.json`; bump when the schema changes.
 /// Version 2 added the per-phase counters (`warmup_nanos`/`measured_nanos`
-/// per scenario and in the totals).
-pub const PERF_SCHEMA_VERSION: u64 = 2;
+/// per scenario and in the totals). Version 3 moved trace generation out of
+/// the timed loops and into the totals' own `tracegen_nanos` field: streams
+/// are materialized once per unique `(workload, cores, seed)` key in a
+/// shared trace arena and replayed by every scenario, so `loop_nanos` (and
+/// therefore `blocks_per_sec`) now measures simulation alone while the
+/// one-time generation cost stays attributable.
+pub const PERF_SCHEMA_VERSION: u64 = 3;
 
 /// The representative workloads the perf suite times: a sharing-heavy server
 /// workload (OLTP DB2), a nearest-neighbour scientific code (em3d), and a
@@ -175,6 +216,12 @@ pub fn run_perf(cfg: &ExperimentConfig, engine: &ExperimentEngine) -> PerfReport
 
 /// Runs `scenarios` on `engine`, timing each scenario's simulation loop.
 ///
+/// Before any scenario runs, the unique reference streams behind the list
+/// (one per `(workload, cores, seed)` — the 45-scenario default needs only
+/// 9) are materialized in parallel into a shared [`TraceArena`]; that
+/// one-time cost is reported as the totals' `tracegen_nanos`. Each scenario
+/// then replays its slab, so the timed loops measure simulation alone.
+///
 /// The deterministic fields of the report (scenario identity, reference
 /// counts, CPI digests) are identical for every worker count; only the
 /// timing fields vary run to run.
@@ -184,9 +231,20 @@ pub fn run_perf_scenarios(
     engine: &ExperimentEngine,
 ) -> PerfReport {
     let start = Instant::now();
+    let arena = TraceArena::new();
+    let mut seen = HashSet::new();
+    let unique: Vec<&PerfScenario> = scenarios
+        .iter()
+        .filter(|s| seen.insert(TraceKey::new(&s.workload, cfg.seed)))
+        .collect();
+    let t = Instant::now();
+    engine.run(&unique, |_, s| {
+        arena.populate(&s.workload, cfg.seed, cfg.total_refs())
+    });
+    let tracegen_nanos = saturating_nanos(t.elapsed().as_nanos());
     let results = engine.run(scenarios, |_, s| {
-        let (run, warmup_nanos, measured_nanos) = time_scenario(s, cfg);
-        let refs = (cfg.warmup_refs + cfg.measured_refs) as u64;
+        let (run, warmup_nanos, measured_nanos) = time_scenario(s, cfg, &arena);
+        let refs = cfg.total_refs() as u64;
         let loop_nanos = warmup_nanos + measured_nanos;
         PerfResult {
             workload: s.workload.name.clone(),
@@ -210,6 +268,7 @@ pub fn run_perf_scenarios(
     let totals = PerfTotals {
         scenarios: results.len(),
         refs,
+        tracegen_nanos,
         warmup_nanos,
         measured_nanos,
         loop_nanos,
@@ -224,20 +283,25 @@ pub fn run_perf_scenarios(
     }
 }
 
-/// Builds, warms, and measures one scenario, returning the measured run and
-/// the per-phase loop times in nanoseconds (construction excluded — the loop
-/// is the hot path the regression gate guards). The warm-up phase is
-/// dominated by cold caches and map growth, the measured phase by
+/// Builds, warms, and measures one scenario over its pre-materialized arena
+/// stream, returning the measured run and the per-phase loop times in
+/// nanoseconds (construction and trace generation excluded — the loop is
+/// the simulation hot path the regression gate guards). The warm-up phase
+/// is dominated by cold caches and map growth, the measured phase by
 /// steady-state behaviour; recording both makes phase-specific regressions
 /// visible instead of averaged away.
-fn time_scenario(s: &PerfScenario, cfg: &ExperimentConfig) -> (MeasuredRun, u64, u64) {
-    let mut gen = TraceGenerator::new(&s.workload, cfg.seed);
+fn time_scenario(
+    s: &PerfScenario,
+    cfg: &ExperimentConfig,
+    arena: &TraceArena,
+) -> (MeasuredRun, u64, u64) {
+    let mut slice = arena.slice(&s.workload, cfg.seed, cfg.total_refs());
     let mut sim = CmpSimulator::with_seed(s.design, &s.workload, cfg.seed);
     let t = Instant::now();
-    sim.run_warmup(&mut gen, cfg.warmup_refs);
+    sim.run_warmup(&mut slice, cfg.warmup_refs);
     let warmup_nanos = saturating_nanos(t.elapsed().as_nanos());
     let t = Instant::now();
-    let run = sim.run_measured(&mut gen, cfg.measured_refs);
+    let run = sim.run_measured(&mut slice, cfg.measured_refs);
     (run, warmup_nanos, saturating_nanos(t.elapsed().as_nanos()))
 }
 
@@ -309,10 +373,12 @@ impl PerfReport {
         out.push_str("  ],\n");
         out.push_str(&format!(
             "  \"totals\": {{\"scenarios\": {}, \"refs\": {}, \
+             \"tracegen_nanos\": {}, \
              \"warmup_nanos\": {}, \"measured_nanos\": {}, \"loop_nanos\": {}, \
              \"elapsed_nanos\": {}, \"blocks_per_sec\": {}, \"jobs_per_sec\": {}}}",
             self.totals.scenarios,
             self.totals.refs,
+            tn(self.totals.tracegen_nanos),
             tn(self.totals.warmup_nanos),
             tn(self.totals.measured_nanos),
             tn(self.totals.loop_nanos),
@@ -471,6 +537,10 @@ mod tests {
             run_perf_scenarios(&tiny_scenarios(), &cfg, &ExperimentEngine::with_workers(1));
         assert_eq!(report.totals.scenarios, 2);
         assert_eq!(report.totals.refs, 2 * 1000);
+        assert!(
+            report.totals.tracegen_nanos > 0,
+            "materializing the shared stream takes measurable time"
+        );
         assert_eq!(
             report.totals.loop_nanos,
             report.results.iter().map(|r| r.loop_nanos).sum::<u64>()
@@ -513,7 +583,7 @@ mod tests {
             doc.keys(),
             vec!["schema_version", "config", "scenarios", "totals"]
         );
-        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(3.0));
         let scenarios = doc.get("scenarios").unwrap().as_array().unwrap();
         assert_eq!(scenarios.len(), 2);
         for s in scenarios {
@@ -538,6 +608,7 @@ mod tests {
         for key in [
             "scenarios",
             "refs",
+            "tracegen_nanos",
             "warmup_nanos",
             "measured_nanos",
             "loop_nanos",
@@ -546,6 +617,43 @@ mod tests {
             "jobs_per_sec",
         ] {
             assert!(totals.get(key).is_some(), "totals must carry {key}");
+        }
+    }
+
+    #[test]
+    fn scenario_labels_render_and_filter() {
+        let scenarios = default_perf_scenarios();
+        let label = scenarios[0].label();
+        assert_eq!(label, "OLTP DB2/P/private/16c");
+
+        // Filtering by workload keeps that workload's 15 scenarios.
+        let em3d = filter_scenarios(default_perf_scenarios(), "em3d");
+        assert_eq!(em3d.len(), 15);
+        assert!(em3d.iter().all(|s| s.workload.name == "em3d"));
+
+        // By design letter (the "/R/" segment), across workloads and cores.
+        let rnuca = filter_scenarios(default_perf_scenarios(), "/R/");
+        assert_eq!(rnuca.len(), 9);
+        assert!(rnuca.iter().all(|s| s.design.letter() == "R"));
+
+        // By core count, case-insensitively; unmatched filters yield nothing.
+        let big = filter_scenarios(default_perf_scenarios(), "/64C");
+        assert_eq!(big.len(), 15);
+        assert!(big.iter().all(|s| s.cores == 64));
+        assert!(filter_scenarios(default_perf_scenarios(), "nope").is_empty());
+    }
+
+    #[test]
+    fn scenarios_sharing_a_stream_report_identical_results() {
+        // Two designs over one workload share an arena slab; their
+        // deterministic digests must come out as if each streamed privately.
+        let cfg = tiny_cfg();
+        let report =
+            run_perf_scenarios(&tiny_scenarios(), &cfg, &ExperimentEngine::with_workers(2));
+        for (s, r) in tiny_scenarios().iter().zip(&report.results) {
+            let single = rnuca_sim::DesignComparison::run_single(&s.workload, s.design, &cfg);
+            assert_eq!(r.total_cpi, single.run.total_cpi());
+            assert_eq!(r.off_chip_rate, single.run.off_chip_rate);
         }
     }
 

@@ -94,13 +94,23 @@ impl<T> CacheArray<T> {
         let ways = geometry.ways;
         assert!(ways <= 64, "flat-slab cache arrays support at most 64 ways");
         let slots = num_sets * ways;
-        let mut meta = Vec::with_capacity(slots);
+        let mut meta: Vec<Option<T>> = Vec::with_capacity(slots);
+        // Hint huge-page backing for the large slabs before first touch:
+        // probes index them by set at random, and with 4 KB pages each
+        // probe of a big array (the ideal design's aggregate cache in
+        // particular) costs a dTLB miss on top of the data miss.
+        rnuca_types::os_hint::advise_huge_pages(
+            meta.as_ptr(),
+            slots * std::mem::size_of::<Option<T>>(),
+        );
         meta.resize_with(slots, || None);
+        let tags = vec![0u64; slots];
+        rnuca_types::os_hint::advise_huge_pages_slice(&tags);
         CacheArray {
             geometry,
             num_sets,
             ways,
-            tags: vec![0; slots],
+            tags,
             ages: vec![AGE_INVALID; slots],
             meta,
             occupied: vec![0; num_sets],
@@ -136,6 +146,26 @@ impl<T> CacheArray<T> {
 
     fn set_index(&self, block: BlockAddr) -> usize {
         block.set_index(self.num_sets)
+    }
+
+    /// Hints the CPU to pull `block`'s set — its tag lines and occupancy
+    /// word — into cache ahead of a probe. Purely a performance hint with
+    /// no architectural effect; the simulator's batch drivers call this for
+    /// upcoming references so independent probe misses overlap.
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        let set = self.set_index(block);
+        let base = set * self.ways;
+        rnuca_types::index_map::prefetch_read(&self.tags[base]);
+        // A 16-way set spans two 64-byte tag lines; touch the second too.
+        if self.ways > 8 {
+            rnuca_types::index_map::prefetch_read(&self.tags[base + 8]);
+        }
+        rnuca_types::index_map::prefetch_read(&self.occupied[set]);
+        // A hit promotes the way to MRU (ages) and reads its metadata; both
+        // slabs are parallel to the tags, one line per set.
+        rnuca_types::index_map::prefetch_read(&self.ages[base]);
+        rnuca_types::index_map::prefetch_read(&self.meta[base]);
     }
 
     /// The way holding `block` in `set`, if resident.

@@ -66,6 +66,17 @@ impl<T> VictimCache<T> {
         self.capacity
     }
 
+    /// The block the next overflow-insert would drop: the oldest victim of a
+    /// *full* buffer (`None` while free slots remain, since inserts then
+    /// drop nothing). Read-only — prefetch hints use it to warm the dropped
+    /// block's bookkeeping without disturbing FIFO order or statistics.
+    pub fn peek_oldest(&self) -> Option<BlockAddr> {
+        if self.len() < self.capacity || self.head == NIL {
+            return None;
+        }
+        Some(BlockAddr::from_block_number(self.tags[self.head as usize]))
+    }
+
     /// Number of blocks currently held.
     pub fn len(&self) -> usize {
         self.occupied.count_ones() as usize

@@ -2,9 +2,9 @@
 
 use crate::protocol::{MosiState, ReadOutcome, ReadSource, WriteOutcome};
 use crate::sharers::SharerSet;
+use crate::table::EntryTable;
 use rnuca_types::addr::BlockAddr;
 use rnuca_types::ids::TileId;
-use rnuca_types::index_map::U64Map;
 use serde::{Deserialize, Serialize};
 
 /// Blocks the directory pre-sizes for; past this it grows by doubling.
@@ -27,13 +27,6 @@ pub struct DirectoryStats {
     pub dirty_writebacks: u64,
 }
 
-#[derive(Debug, Clone, Default)]
-struct Entry {
-    sharers: SharerSet,
-    owner: Option<TileId>,
-    dirty: bool,
-}
-
 /// A full-map coherence directory.
 ///
 /// One logical directory suffices for the functional model even though the
@@ -47,12 +40,13 @@ struct Entry {
 /// * tracking which **L2 slices** hold a block (private / ASR designs).
 ///
 /// Every store and every local L2 miss of the private/ASR designs performs a
-/// directory transaction, so the entry table is an open-addressed
-/// [`U64Map`] keyed by the block number rather than a SipHash `HashMap`.
+/// directory transaction, so the entry table is an open-addressed,
+/// structure-of-arrays store keyed by the block number (see the `table`
+/// module for the layout rationale) rather than a SipHash `HashMap`.
 #[derive(Debug, Clone)]
 pub struct Directory {
     num_tiles: usize,
-    entries: U64Map<Entry>,
+    entries: EntryTable,
     stats: DirectoryStats,
 }
 
@@ -69,7 +63,7 @@ impl Directory {
         );
         Directory {
             num_tiles,
-            entries: U64Map::with_capacity(INITIAL_BLOCK_CAPACITY),
+            entries: EntryTable::with_capacity(INITIAL_BLOCK_CAPACITY),
             stats: DirectoryStats::default(),
         }
     }
@@ -94,24 +88,36 @@ impl Directory {
         self.entries.len()
     }
 
+    /// Hints the CPU to pull the directory entry of `block` into cache ahead
+    /// of a transaction. The entry table is the largest randomly-probed
+    /// structure of the private/ASR designs, so the simulator's batch
+    /// drivers prefetch upcoming blocks to overlap the misses. Performance
+    /// hint only — no state changes.
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        self.entries.prefetch(block.block_number());
+    }
+
     /// The sharers currently recorded for a block.
     pub fn sharers(&self, block: BlockAddr) -> SharerSet {
         self.entries
-            .get(block.block_number())
-            .map(|e| e.sharers)
+            .find(block.block_number())
+            .map(|slot| SharerSet::from_bits(self.entries.sharer_bits(slot)))
             .unwrap_or_default()
     }
 
     /// The current owner of a block (the tile responsible for supplying dirty data), if any.
     pub fn owner(&self, block: BlockAddr) -> Option<TileId> {
-        self.entries.get(block.block_number()).and_then(|e| e.owner)
+        self.entries
+            .find(block.block_number())
+            .and_then(|slot| self.entries.owner(slot))
     }
 
     /// Returns `true` if any tile holds a copy of the block.
     pub fn is_cached(&self, block: BlockAddr) -> bool {
         self.entries
-            .get(block.block_number())
-            .map(|e| !e.sharers.is_empty())
+            .find(block.block_number())
+            .map(|slot| self.entries.sharer_bits(slot) != 0)
             .unwrap_or(false)
     }
 
@@ -128,14 +134,12 @@ impl Directory {
     pub fn handle_read(&mut self, block: BlockAddr, requester: TileId) -> ReadOutcome {
         self.check_tile(requester);
         self.stats.reads += 1;
-        let entry = self
-            .entries
-            .get_or_insert_with(block.block_number(), Entry::default)
-            .0;
+        let (slot, _) = self.entries.get_or_insert(block.block_number());
+        let mut sharers = SharerSet::from_bits(self.entries.sharer_bits(slot));
 
-        if entry.sharers.contains(requester) {
+        if sharers.contains(requester) {
             // Already has a copy: nothing to do (the requester's cache hit).
-            let state = if entry.owner == Some(requester) && entry.dirty {
+            let state = if self.entries.owner(slot) == Some(requester) && self.entries.dirty(slot) {
                 MosiState::Modified
             } else {
                 MosiState::Shared
@@ -147,11 +151,12 @@ impl Directory {
             };
         }
 
-        if entry.sharers.is_empty() {
+        if sharers.is_empty() {
             // Not on chip: fetch from memory, requester becomes the sole (clean) sharer.
-            entry.sharers.insert(requester);
-            entry.owner = Some(requester);
-            entry.dirty = false;
+            self.entries
+                .set_sharer_bits(slot, SharerSet::singleton(requester).to_bits());
+            self.entries.set_owner(slot, Some(requester));
+            self.entries.set_dirty(slot, false);
             self.stats.memory_fetches += 1;
             return ReadOutcome {
                 source: ReadSource::Memory,
@@ -161,20 +166,21 @@ impl Directory {
         }
 
         // Forward from the owner (if dirty) or any current sharer.
-        let supplier = if entry.dirty {
-            entry
-                .owner
-                .or_else(|| entry.sharers.first())
+        let dirty = self.entries.dirty(slot);
+        let supplier = if dirty {
+            self.entries
+                .owner(slot)
+                .or_else(|| sharers.first())
                 .expect("dirty entry has an owner")
         } else {
-            entry.sharers.first().expect("non-empty sharer set")
+            sharers.first().expect("non-empty sharer set")
         };
-        let downgraded = entry.dirty;
-        entry.sharers.insert(requester);
+        sharers.insert(requester);
+        self.entries.set_sharer_bits(slot, sharers.to_bits());
         self.stats.forwards += 1;
         ReadOutcome {
             source: ReadSource::Cache(supplier),
-            downgraded_owner: downgraded,
+            downgraded_owner: dirty,
             new_state: MosiState::Shared,
         }
     }
@@ -184,36 +190,35 @@ impl Directory {
     pub fn handle_write(&mut self, block: BlockAddr, requester: TileId) -> WriteOutcome {
         self.check_tile(requester);
         self.stats.writes += 1;
-        let entry = self
-            .entries
-            .get_or_insert_with(block.block_number(), Entry::default)
-            .0;
+        let (slot, _) = self.entries.get_or_insert(block.block_number());
+        let sharers = SharerSet::from_bits(self.entries.sharer_bits(slot));
 
-        let had_copy = entry.sharers.contains(requester);
-        let invalidations = entry.sharers.without(requester);
+        let had_copy = sharers.contains(requester);
+        let invalidations = sharers.without(requester);
         self.stats.invalidations_sent += invalidations.len() as u64;
 
         let source = if had_copy {
             ReadSource::AlreadyPresent
-        } else if entry.sharers.is_empty() {
+        } else if sharers.is_empty() {
             self.stats.memory_fetches += 1;
             ReadSource::Memory
         } else {
-            let supplier = if entry.dirty {
-                entry
-                    .owner
-                    .or_else(|| entry.sharers.first())
+            let supplier = if self.entries.dirty(slot) {
+                self.entries
+                    .owner(slot)
+                    .or_else(|| sharers.first())
                     .expect("dirty entry has an owner")
             } else {
-                entry.sharers.first().expect("non-empty sharer set")
+                sharers.first().expect("non-empty sharer set")
             };
             self.stats.forwards += 1;
             ReadSource::Cache(supplier)
         };
 
-        entry.sharers = SharerSet::singleton(requester);
-        entry.owner = Some(requester);
-        entry.dirty = true;
+        self.entries
+            .set_sharer_bits(slot, SharerSet::singleton(requester).to_bits());
+        self.entries.set_owner(slot, Some(requester));
+        self.entries.set_dirty(slot, true);
         WriteOutcome {
             source,
             invalidations,
@@ -229,27 +234,28 @@ impl Directory {
         self.check_tile(tile);
         // Every eviction of a tracked block used to probe the entry table
         // twice (lookup, then keyed removal once the sharer set drained);
-        // the slot handle makes the removal free.
-        let Some(slot) = self.entries.find_slot(block.block_number()) else {
+        // the slot index makes the removal free.
+        let Some(slot) = self.entries.find(block.block_number()) else {
             return false;
         };
-        let entry = self.entries.slot_value_mut(slot);
-        let was_present = entry.sharers.remove(tile);
+        let mut sharers = SharerSet::from_bits(self.entries.sharer_bits(slot));
+        let was_present = sharers.remove(tile);
         if !was_present {
             return false;
         }
-        let needs_writeback = entry.dirty && entry.owner == Some(tile);
+        self.entries.set_sharer_bits(slot, sharers.to_bits());
+        let needs_writeback = self.entries.dirty(slot) && self.entries.owner(slot) == Some(tile);
         if needs_writeback {
             self.stats.dirty_writebacks += 1;
             // Ownership (and the dirty data) returns to memory; remaining
             // sharers keep clean copies.
-            entry.dirty = false;
-            entry.owner = entry.sharers.first();
-        } else if entry.owner == Some(tile) {
-            entry.owner = entry.sharers.first();
+            self.entries.set_dirty(slot, false);
+            self.entries.set_owner(slot, sharers.first());
+        } else if self.entries.owner(slot) == Some(tile) {
+            self.entries.set_owner(slot, sharers.first());
         }
-        if entry.sharers.is_empty() {
-            self.entries.remove_slot(slot);
+        if sharers.is_empty() {
+            self.entries.remove_at(slot);
         }
         needs_writeback
     }
@@ -257,9 +263,12 @@ impl Directory {
     /// Invalidates every copy of `block` on chip (e.g. an R-NUCA page
     /// shoot-down), returning the tiles that held a copy.
     pub fn invalidate_all(&mut self, block: BlockAddr) -> Vec<TileId> {
-        match self.entries.remove(block.block_number()) {
-            Some(entry) => {
-                let tiles: Vec<TileId> = entry.sharers.iter().collect();
+        match self.entries.find(block.block_number()) {
+            Some(slot) => {
+                let tiles: Vec<TileId> = SharerSet::from_bits(self.entries.sharer_bits(slot))
+                    .iter()
+                    .collect();
+                self.entries.remove_at(slot);
                 self.stats.invalidations_sent += tiles.len() as u64;
                 tiles
             }

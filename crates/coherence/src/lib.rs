@@ -38,6 +38,7 @@
 pub mod directory;
 pub mod protocol;
 pub mod sharers;
+mod table;
 
 pub use directory::{Directory, DirectoryStats};
 pub use protocol::{MosiState, ReadOutcome, ReadSource, WriteOutcome};

@@ -27,6 +27,16 @@ impl SharerSet {
         s
     }
 
+    /// The raw 64-bit mask (bit `i` = tile `i` holds a copy).
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a set from a raw mask produced by [`SharerSet::to_bits`].
+    pub fn from_bits(bits: u64) -> Self {
+        SharerSet(bits)
+    }
+
     /// Adds a tile to the set.
     ///
     /// # Panics

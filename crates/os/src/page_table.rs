@@ -122,6 +122,13 @@ impl PageTable {
         self.entries.get(page.page_number())
     }
 
+    /// Hints the CPU to pull the page's entry into cache ahead of a lookup
+    /// (see [`U64Map::prefetch`]). Performance hint only.
+    #[inline]
+    pub fn prefetch(&self, page: PageAddr) {
+        self.entries.prefetch(page.page_number());
+    }
+
     /// Looks up a page mutably.
     pub fn get_mut(&mut self, page: PageAddr) -> Option<&mut PageInfo> {
         self.entries.get_mut(page.page_number())

@@ -10,11 +10,19 @@
 //! list executed on a bounded worker pool, so ASR's six versions of one
 //! workload run concurrently instead of serialising inside a per-workload
 //! thread, and the assembled results are identical for every worker count.
+//!
+//! Jobs resolve their reference streams through a shared
+//! [`TraceArena`]: the evaluation pre-populates the unique
+//! `(workload, geometry, seed)` streams in parallel, then every job — all
+//! five designs, and all six ASR variants of a workload — replays the one
+//! memoized slab instead of regenerating the stream. Replay is bit-identical
+//! to streaming generation (the golden-result tests pin this), so the arena
+//! changes wall-clock time only.
 
 use crate::design::{AsrPolicy, LlcDesign};
 use crate::engine::ExperimentEngine;
 use crate::simulator::{CmpSimulator, MeasuredRun};
-use rnuca_workloads::{TraceGenerator, WorkloadSpec};
+use rnuca_workloads::{TraceArena, TraceGenerator, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of one evaluation run.
@@ -33,6 +41,12 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// References each job drives in total — the slab length the trace
+    /// arena materializes per unique stream.
+    pub fn total_refs(&self) -> usize {
+        self.warmup_refs + self.measured_refs
+    }
+
     /// The configuration used by the figure harness: long enough runs for
     /// stable occupancy in every slice.
     pub fn full() -> Self {
@@ -168,6 +182,27 @@ impl DesignComparison {
         }
     }
 
+    /// [`Self::run_single`] replaying the workload's stream from `arena`
+    /// instead of regenerating it. The result is bit-identical to the
+    /// streaming path; the stream is generated at most once per unique
+    /// `(workload, geometry, seed)` key no matter how many designs run it.
+    pub fn run_single_with_arena(
+        spec: &WorkloadSpec,
+        design: LlcDesign,
+        cfg: &ExperimentConfig,
+        arena: &TraceArena,
+    ) -> RunResult {
+        let mut slice = arena.slice(spec, cfg.seed, cfg.total_refs());
+        let mut sim = CmpSimulator::with_seed(design, spec, cfg.seed);
+        sim.run_warmup(&mut slice, cfg.warmup_refs);
+        let run = sim.run_measured(&mut slice, cfg.measured_refs);
+        RunResult {
+            workload: spec.name.clone(),
+            design,
+            run,
+        }
+    }
+
     /// The ASR design variants one workload must run: the six versions when
     /// `asr_best_of` is set, the adaptive version alone otherwise.
     fn asr_variants(cfg: &ExperimentConfig) -> Vec<LlcDesign> {
@@ -201,13 +236,32 @@ impl DesignComparison {
 
     /// [`Self::run_asr`] on an explicit engine: the six versions are
     /// independent jobs, so best-of-six costs one version's wall-clock time.
+    /// The versions share one arena slab — the workload's stream is
+    /// generated once, not six times.
     pub fn run_asr_with(
         spec: &WorkloadSpec,
         cfg: &ExperimentConfig,
         engine: &ExperimentEngine,
     ) -> RunResult {
+        Self::run_asr_with_arena(spec, cfg, engine, &TraceArena::new())
+    }
+
+    /// [`Self::run_asr_with`] resolving every variant through `arena`. All
+    /// six ASR versions of one `(workload, config-point)` replay the same
+    /// memoized slab: the stream is materialized once (by the populate call
+    /// below, or earlier by whoever shares the arena) and the variant jobs
+    /// only differ in simulator policy.
+    pub fn run_asr_with_arena(
+        spec: &WorkloadSpec,
+        cfg: &ExperimentConfig,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+    ) -> RunResult {
+        arena.populate(spec, cfg.seed, cfg.total_refs());
         let variants = Self::asr_variants(cfg);
-        Self::best_asr(engine.run(&variants, |_, design| Self::run_single(spec, *design, cfg)))
+        Self::best_asr(engine.run(&variants, |_, design| {
+            Self::run_single_with_arena(spec, *design, cfg, arena)
+        }))
     }
 
     /// Runs one workload under the P/A/S/R/I design set, serially (the
@@ -253,7 +307,25 @@ impl DesignComparison {
         cfg: &ExperimentConfig,
         engine: &ExperimentEngine,
     ) -> DesignComparison {
+        Self::run_evaluation_with_arena(cfg, engine, &TraceArena::new())
+    }
+
+    /// [`Self::run_evaluation_with`] resolving jobs through an explicit
+    /// `arena` (exposed so callers can share streams across evaluations and
+    /// inspect deduplication).
+    ///
+    /// The unique streams — one per workload at one seed — are pre-populated
+    /// in parallel on the engine, then all design jobs (five designs plus
+    /// the ASR variants, i.e. up to ten jobs per workload) replay them.
+    pub fn run_evaluation_with_arena(
+        cfg: &ExperimentConfig,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+    ) -> DesignComparison {
         let specs = WorkloadSpec::evaluation_suite();
+        engine.run(&specs, |_, spec| {
+            arena.populate(spec, cfg.seed, cfg.total_refs())
+        });
         let asr_variants = Self::asr_variants(cfg);
         // Per workload: P, the ASR variants, then S, R, I — contiguous, so
         // assembly below can consume results in job order.
@@ -271,7 +343,7 @@ impl DesignComparison {
             })
             .collect();
         let results = engine.run(&jobs, |_, &(i, design)| {
-            Self::run_single(&specs[i], design, cfg)
+            Self::run_single_with_arena(&specs[i], design, cfg, arena)
         });
 
         let mut results = results.into_iter();
@@ -304,13 +376,18 @@ impl DesignComparison {
 
     /// [`Self::run_cluster_sweep`] on an explicit engine, one job per
     /// `(workload, cluster size)` pair. Sizes exceeding a workload's core
-    /// count are skipped.
+    /// count are skipped. Every size of one workload replays the same
+    /// arena slab — the cluster size never changes the reference stream.
     pub fn run_cluster_sweep_with(
         cfg: &ExperimentConfig,
         sizes: &[usize],
         engine: &ExperimentEngine,
     ) -> Vec<(String, Vec<(usize, MeasuredRun)>)> {
         let specs = WorkloadSpec::evaluation_suite();
+        let arena = TraceArena::new();
+        engine.run(&specs, |_, spec| {
+            arena.populate(spec, cfg.seed, cfg.total_refs())
+        });
         let jobs: Vec<(usize, usize)> = specs
             .iter()
             .enumerate()
@@ -323,12 +400,13 @@ impl DesignComparison {
             })
             .collect();
         let results = engine.run(&jobs, |_, &(i, size)| {
-            let r = Self::run_single(
+            let r = Self::run_single_with_arena(
                 &specs[i],
                 LlcDesign::RNuca {
                     instr_cluster_size: size,
                 },
                 cfg,
+                &arena,
             );
             (size, r.run)
         });
@@ -436,6 +514,63 @@ mod tests {
             &cfg,
         );
         assert!(best.total_cpi() <= adaptive.total_cpi() + 1e-9);
+    }
+
+    #[test]
+    fn run_single_with_arena_matches_the_streaming_path() {
+        let cfg = ExperimentConfig::quick();
+        let arena = TraceArena::new();
+        for design in [
+            LlcDesign::Private,
+            LlcDesign::Shared,
+            LlcDesign::rnuca_default(),
+        ] {
+            let spec = WorkloadSpec::oltp_db2();
+            assert_eq!(
+                DesignComparison::run_single_with_arena(&spec, design, &cfg, &arena),
+                DesignComparison::run_single(&spec, design, &cfg),
+            );
+        }
+        assert_eq!(arena.len(), 1, "one workload, one stream");
+    }
+
+    #[test]
+    fn asr_best_of_six_shares_one_arena_slab() {
+        // Satellite acceptance: all six ASR variants of one
+        // (workload, config-point) resolve to the same slab — the stream is
+        // generated exactly once, not six times.
+        let spec = WorkloadSpec::oltp_db2();
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.asr_best_of = true;
+        let arena = TraceArena::new();
+        let best = DesignComparison::run_asr_with_arena(
+            &spec,
+            &cfg,
+            &ExperimentEngine::with_workers(4),
+            &arena,
+        );
+        assert_eq!(best.design.letter(), "A");
+        assert_eq!(arena.len(), 1, "six variants, one unique key");
+        assert_eq!(arena.generations(), 1, "the stream was generated once");
+    }
+
+    #[test]
+    fn full_evaluation_holds_one_arena_entry_per_unique_key() {
+        // Satellite acceptance: after a full experiment (ASR best-of-six
+        // included), the arena holds exactly one entry per unique
+        // (workload, geometry, seed) key — the eight suite workloads — and
+        // generated each exactly once despite ~10 design jobs per workload.
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.asr_best_of = true;
+        let arena = TraceArena::new();
+        let comparison = DesignComparison::run_evaluation_with_arena(
+            &cfg,
+            &ExperimentEngine::with_workers(4),
+            &arena,
+        );
+        assert_eq!(comparison.workloads.len(), 8);
+        assert_eq!(arena.len(), WorkloadSpec::evaluation_suite().len());
+        assert_eq!(arena.generations(), arena.len());
     }
 
     #[test]

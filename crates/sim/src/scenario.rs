@@ -31,8 +31,9 @@ use crate::experiment::{DesignComparison, ExperimentConfig};
 use crate::simulator::MeasuredRun;
 use rnuca_types::config::ConfigPoint;
 use rnuca_types::ConfigError;
-use rnuca_workloads::WorkloadSpec;
+use rnuca_workloads::{TraceArena, TraceKey, WorkloadSpec};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// A declarative sweep over workloads, designs, and configuration axes.
 ///
@@ -198,13 +199,47 @@ impl ScenarioMatrix {
     /// Runs the matrix on an explicit engine. The result vector is ordered
     /// by job index and identical for every worker count.
     ///
+    /// Jobs are grouped by their reference stream: the matrix multiplies
+    /// designs and slice capacities on top of far fewer unique
+    /// `(workload, core count, seed)` streams, so those are materialized
+    /// once each — in parallel, into a [`TraceArena`] — and every job
+    /// replays its group's slab.
+    ///
     /// # Errors
     ///
     /// Propagates [`Self::jobs`] errors.
     pub fn run_with(&self, engine: &ExperimentEngine) -> Result<ScenarioSweep, ConfigError> {
+        self.run_with_arena(engine, &TraceArena::new())
+    }
+
+    /// [`Self::run_with`] resolving jobs through an explicit `arena`
+    /// (exposed so callers can share streams across matrices and inspect
+    /// deduplication).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::jobs`] errors.
+    pub fn run_with_arena(
+        &self,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+    ) -> Result<ScenarioSweep, ConfigError> {
         let jobs = self.jobs()?;
+        let mut seen = HashSet::new();
+        let unique: Vec<&ScenarioJob> = jobs
+            .iter()
+            .filter(|job| seen.insert(TraceKey::new(&job.workload, self.cfg.seed)))
+            .collect();
+        engine.run(&unique, |_, job| {
+            arena.populate(&job.workload, self.cfg.seed, self.cfg.total_refs())
+        });
         let results = engine.run(&jobs, |_, job| {
-            let r = DesignComparison::run_single(&job.workload, job.design, &self.cfg);
+            let r = DesignComparison::run_single_with_arena(
+                &job.workload,
+                job.design,
+                &self.cfg,
+                arena,
+            );
             let system = job.workload.system_config();
             ScenarioResult {
                 workload: job.workload.name.clone(),
@@ -360,6 +395,23 @@ mod tests {
         assert_eq!(serial, pooled);
         assert_eq!(serial.to_json(), pooled.to_json());
         assert_eq!(serial.results.len(), 2 * 3);
+    }
+
+    #[test]
+    fn sweep_jobs_group_onto_unique_streams() {
+        // 1 workload x 2 core counts x 2 capacities x 2 designs = 8 jobs,
+        // but only the core count changes the reference stream: the arena
+        // must end up holding exactly 2 slabs, each generated once.
+        let mut m = tiny_matrix();
+        m.core_counts = vec![16, 32];
+        m.slice_capacities_kb = vec![512, 1024];
+        let arena = TraceArena::new();
+        let sweep = m
+            .run_with_arena(&ExperimentEngine::with_workers(4), &arena)
+            .unwrap();
+        assert_eq!(sweep.results.len(), 2 * 2 * 2);
+        assert_eq!(arena.len(), 2, "one stream per core count");
+        assert_eq!(arena.generations(), 2);
     }
 
     #[test]

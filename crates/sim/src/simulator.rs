@@ -25,7 +25,7 @@ use rnuca_types::addr::BlockAddr;
 use rnuca_types::config::{CacheGeometry, SystemConfig};
 use rnuca_types::ids::{CoreId, TileId};
 use rnuca_types::index_map::U64Map;
-use rnuca_workloads::{TraceGenerator, WorkloadSpec};
+use rnuca_workloads::{TraceSource, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// How long (in L2 references) a dirty block is assumed to stay in its writer's L1.
@@ -55,6 +55,21 @@ const STORE_COST: u64 = 14;
 /// References generated per batch by [`CmpSimulator::drive`]: large enough
 /// to amortise the generator call overhead, small enough to stay cache-hot.
 const TRACE_BATCH: usize = 4_096;
+/// How many references ahead of the current one the batch drivers issue
+/// software prefetches for. The simulator is dominated by random probes
+/// into structures far larger than the host's caches (directory entry
+/// table, per-tile tag slabs, dirty-block map); consecutive references are
+/// independent, so prefetching this far ahead overlaps their miss latencies
+/// instead of serializing them. Eight is far enough to cover a memory
+/// round-trip at the loop's work-per-reference, close enough that the
+/// prefetched lines are still resident when their reference arrives.
+const PREFETCH_AHEAD: usize = 8;
+/// Whether the batch drivers compute prefetch hints at all. On targets
+/// where `prefetch_read` is a no-op (everything but x86-64) the hint
+/// computation — hashing upcoming keys, peeking classifications and
+/// victims — would be pure overhead in the hot loop, so it is compiled out
+/// rather than executed for nothing.
+const PREFETCH_ENABLED: bool = cfg!(target_arch = "x86_64");
 /// Entries the dirty-block tracker pre-sizes for; past this it grows by
 /// doubling (the periodic sweep bounds it to two residency windows).
 const L1_DIRTY_INITIAL_CAPACITY: usize = 16_384;
@@ -133,6 +148,10 @@ pub struct CmpSimulator {
     asr_direction: f64,
     // Accounting.
     clock: u64,
+    /// References until the next expired-dirty-entry sweep (counts down from
+    /// [`L1_RESIDENCY_WINDOW`]; equivalent to `clock % window == 0` without
+    /// a per-reference division).
+    sweep_countdown: u64,
     measuring: bool,
     acc: DetailedCpi,
     measured_accesses: u64,
@@ -234,6 +253,7 @@ impl CmpSimulator {
             asr_window_accesses: 0,
             asr_direction: ASR_INITIAL_STEP,
             clock: 0,
+            sweep_countdown: L1_RESIDENCY_WINDOW,
             measuring: false,
             acc: DetailedCpi::default(),
             measured_accesses: 0,
@@ -266,42 +286,67 @@ impl CmpSimulator {
         &self.os
     }
 
-    /// Runs `n` references from `gen` without recording statistics (cache and
+    /// Runs `n` references from `src` without recording statistics (cache and
     /// page-table warm-up, mirroring the paper's warmed checkpoints).
-    pub fn run_warmup(&mut self, gen: &mut TraceGenerator, n: usize) {
+    ///
+    /// `src` is any [`TraceSource`]: a streaming
+    /// [`TraceGenerator`](rnuca_workloads::TraceGenerator), or a
+    /// [`TraceSlice`](rnuca_workloads::TraceSlice) replaying a stream the
+    /// [`TraceArena`](rnuca_workloads::TraceArena) materialized once and
+    /// shares across every design evaluating it. Both yield identical
+    /// sequences, so the choice affects run time only.
+    pub fn run_warmup(&mut self, src: &mut impl TraceSource, n: usize) {
         self.measuring = false;
-        self.drive(gen, n);
+        self.drive(src, n);
     }
 
-    /// Feeds `n` references from `gen` through the design's step path,
-    /// generating them in batches into a buffer reused across calls and
+    /// Feeds `n` references from `src` through the design's step path,
+    /// filling them in batches into a buffer reused across calls and
     /// windows, so the run loop performs no per-access (or even per-batch)
-    /// allocation. The access sequence is identical to calling
-    /// `gen.next_access()` `n` times — the generator does not depend on
-    /// simulator state.
+    /// allocation. The access sequence is identical to taking `n` single
+    /// references from `src` — the source does not depend on simulator
+    /// state.
     ///
     /// The `match` on the design happens once per batch, not once per
     /// access: each arm runs a monomorphized batch loop over the design's
     /// step function, so the per-reference path is branch-predictable and
     /// free of the dispatch [`Self::step`] performs.
-    fn drive(&mut self, gen: &mut TraceGenerator, n: usize) {
+    fn drive(&mut self, src: &mut impl TraceSource, n: usize) {
         let mut buf = std::mem::take(&mut self.trace_buf);
         let mut remaining = n;
         while remaining > 0 {
             let batch = remaining.min(TRACE_BATCH);
-            gen.generate_into(batch, &mut buf);
+            src.fill_into(batch, &mut buf);
             match self.design {
-                LlcDesign::Ideal => self.run_batch::<false>(&buf, Self::step_ideal),
-                LlcDesign::Shared => {
-                    self.run_batch::<false>(&buf, |s, a| s.step_single_copy(a, None))
+                LlcDesign::Ideal => {
+                    self.run_batch::<false>(&buf, Self::step_ideal, Self::prefetch_ideal)
                 }
-                LlcDesign::RNuca { .. } => self.run_batch::<false>(&buf, Self::step_rnuca),
-                LlcDesign::Private => self.run_batch::<false>(&buf, Self::step_private_like),
+                LlcDesign::Shared => self.run_batch::<false>(
+                    &buf,
+                    |s, a| s.step_single_copy(a, None),
+                    Self::prefetch_single_copy,
+                ),
+                LlcDesign::RNuca { .. } => {
+                    self.run_batch::<false>(&buf, Self::step_rnuca, Self::prefetch_rnuca)
+                }
+                LlcDesign::Private => self.run_batch::<false>(
+                    &buf,
+                    Self::step_private_like,
+                    Self::prefetch_private_like,
+                ),
                 LlcDesign::Asr { .. } => {
                     if self.asr_adaptive {
-                        self.run_batch::<true>(&buf, Self::step_private_like)
+                        self.run_batch::<true>(
+                            &buf,
+                            Self::step_private_like,
+                            Self::prefetch_private_like,
+                        )
                     } else {
-                        self.run_batch::<false>(&buf, Self::step_private_like)
+                        self.run_batch::<false>(
+                            &buf,
+                            Self::step_private_like,
+                            Self::prefetch_private_like,
+                        )
                     }
                 }
             }
@@ -314,12 +359,25 @@ impl CmpSimulator {
     /// the design's step function, and (for the adaptive ASR driver) the
     /// controller epilogue. `ADAPT` is a compile-time flag so the other
     /// designs pay nothing for the check.
+    ///
+    /// `prefetch` is the design's cache-warming hint for one upcoming
+    /// reference: before stepping reference `i`, the driver prefetches the
+    /// structures reference `i + PREFETCH_AHEAD` will probe, so the random
+    /// misses of consecutive independent references overlap instead of
+    /// serializing. Prefetching is architecturally invisible — results are
+    /// bit-identical with it disabled.
     fn run_batch<const ADAPT: bool>(
         &mut self,
         buf: &[MemoryAccess],
         step: impl Fn(&mut Self, &MemoryAccess),
+        prefetch: impl Fn(&Self, &MemoryAccess),
     ) {
-        for access in buf {
+        for (i, access) in buf.iter().enumerate() {
+            if PREFETCH_ENABLED {
+                if let Some(upcoming) = buf.get(i + PREFETCH_AHEAD) {
+                    prefetch(self, upcoming);
+                }
+            }
             self.pre_step();
             step(self, access);
             if ADAPT && self.measuring {
@@ -329,10 +387,14 @@ impl CmpSimulator {
     }
 
     /// The bookkeeping shared by every step path: the reference clock, the
-    /// periodic dirty-map sweep, and the measured-access counter.
+    /// periodic dirty-map sweep, and the measured-access counter. The sweep
+    /// cadence is a countdown rather than a `clock % window` test so the
+    /// per-reference prologue performs no division.
     fn pre_step(&mut self) {
         self.clock += 1;
-        if self.clock.is_multiple_of(L1_RESIDENCY_WINDOW) {
+        self.sweep_countdown -= 1;
+        if self.sweep_countdown == 0 {
+            self.sweep_countdown = L1_RESIDENCY_WINDOW;
             self.sweep_expired_l1_dirty();
         }
         if self.measuring {
@@ -340,7 +402,60 @@ impl CmpSimulator {
         }
     }
 
-    /// Runs `n` references from `gen` with statistics recording and returns the results.
+    // ----- per-design prefetch hints (see [`Self::run_batch`]) ------------
+
+    /// Private/ASR designs probe the dirty-block map, the requester's own
+    /// slice, and (on misses and stores) the coherence directory — both the
+    /// requested block's entry and, when a fill would push the victim
+    /// buffer's oldest block off the tile, that departing block's entry
+    /// (the `handle_eviction` probe). Cores issue round-robin, so at this
+    /// lookahead the tile's state is unchanged when its reference arrives
+    /// and the peeked victim is the one the eviction will name.
+    fn prefetch_private_like(&self, access: &MemoryAccess) {
+        let block = access.addr.block(self.block_bytes);
+        self.l1_dirty.prefetch(block.block_number());
+        let tile = &self.tiles[access.core.tile().index()];
+        tile.prefetch(block);
+        self.l2_directory.prefetch(block);
+        if let Some(departing) = tile.peek_departing() {
+            self.l2_directory.prefetch(departing);
+        }
+    }
+
+    /// The shared design probes the dirty-block map and the block's
+    /// address-interleaved home slice.
+    fn prefetch_single_copy(&self, access: &MemoryAccess) {
+        let block = access.addr.block(self.block_bytes);
+        self.l1_dirty.prefetch(block.block_number());
+        let home = self.placement.shared_home(block);
+        self.tiles[home.index()].prefetch(block);
+    }
+
+    /// R-NUCA consults the OS page table before the home is known. The hint
+    /// reads the page's *current* classification (a plain lookup — the very
+    /// miss it absorbs early) and warms the slice that classification homes
+    /// the block to; pages re-classify rarely, so the speculative home is
+    /// almost always the one the step will probe. The dirty-block map and
+    /// the page-table entry are hinted as well.
+    fn prefetch_rnuca(&self, access: &MemoryAccess) {
+        let block = access.addr.block(self.block_bytes);
+        self.l1_dirty.prefetch(block.block_number());
+        let page = access.addr.page(self.page_bytes);
+        self.os.prefetch(page);
+        if let Some(class) = self.os.peek_class(page, access.core) {
+            let home = self.placement.place(class, block, access.core);
+            self.tiles[home.index()].prefetch(block);
+        }
+    }
+
+    /// The ideal design probes only its aggregate cache array.
+    fn prefetch_ideal(&self, access: &MemoryAccess) {
+        if let Some(cache) = &self.ideal_cache {
+            cache.prefetch(access.addr.block(self.block_bytes));
+        }
+    }
+
+    /// Runs `n` references from `src` with statistics recording and returns the results.
     ///
     /// Cache, directory, and page-table state deliberately carry over from
     /// warm-up (and from any previous window — that is the warmed-checkpoint
@@ -351,7 +466,7 @@ impl CmpSimulator {
     /// restarted here: without the reset, counters left over from a previous
     /// measured window would fire the adaptive controller early in the next
     /// one, coupling back-to-back windows that should be independent.
-    pub fn run_measured(&mut self, gen: &mut TraceGenerator, n: usize) -> MeasuredRun {
+    pub fn run_measured(&mut self, src: &mut impl TraceSource, n: usize) -> MeasuredRun {
         self.measuring = true;
         self.asr_window_cycles = 0;
         self.asr_window_accesses = 0;
@@ -364,7 +479,7 @@ impl CmpSimulator {
         self.misclassified = 0;
         self.classified = 0;
         self.reclassifications = 0;
-        self.drive(gen, n);
+        self.drive(src, n);
         self.results()
     }
 
@@ -897,6 +1012,7 @@ impl CmpSimulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rnuca_workloads::{TraceArena, TraceGenerator};
 
     fn quick_run(design: LlcDesign, spec: &WorkloadSpec, n: usize) -> MeasuredRun {
         let mut gen = TraceGenerator::new(spec, 7);
@@ -1050,6 +1166,31 @@ mod tests {
             run.off_chip_rate > 0.2,
             "streaming workload must miss on chip often"
         );
+    }
+
+    #[test]
+    fn arena_replay_matches_streaming_generation_for_every_design() {
+        // The perf-critical property of the trace arena: a simulator driven
+        // by a replay cursor produces the bit-identical MeasuredRun that the
+        // streaming generator path produces, for every design's step path.
+        let spec = WorkloadSpec::oltp_db2();
+        let arena = TraceArena::new();
+        for design in LlcDesign::speedup_set() {
+            let mut gen = TraceGenerator::new(&spec, 13);
+            let mut streamed_sim = CmpSimulator::with_seed(design, &spec, 13);
+            streamed_sim.run_warmup(&mut gen, 12_000);
+            let streamed = streamed_sim.run_measured(&mut gen, 8_000);
+
+            let mut slice = arena.slice(&spec, 13, 20_000);
+            let mut replay_sim = CmpSimulator::with_seed(design, &spec, 13);
+            replay_sim.run_warmup(&mut slice, 12_000);
+            let replayed = replay_sim.run_measured(&mut slice, 8_000);
+
+            assert_eq!(streamed, replayed, "{design} must be replay-invariant");
+        }
+        // All five designs resolved through one memoized stream.
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.generations(), 1);
     }
 
     #[test]

@@ -68,6 +68,22 @@ impl Tile {
         self.id
     }
 
+    /// Hints the CPU to pull the slice set a probe of `block` will scan into
+    /// cache (see [`CacheArray::prefetch`]). Performance hint only.
+    #[inline]
+    pub fn prefetch(&self, block: BlockAddr) {
+        self.slice.prefetch(block);
+    }
+
+    /// The block a fill-after-miss would push out of the tile entirely — the
+    /// victim buffer's oldest entry, which is what [`Tile::fill_at`] reports
+    /// and the directory is told about. `None` while the buffer still has
+    /// room (then nothing departs). Read-only; prefetch hints use it to warm
+    /// the departing block's directory entry ahead of the eviction.
+    pub fn peek_departing(&self) -> Option<BlockAddr> {
+        self.victims.peek_oldest()
+    }
+
     /// Looks up a block in the slice (checking the victim buffer on a miss and
     /// re-promoting on a victim hit). Returns `true` on a hit.
     pub fn probe(&mut self, block: BlockAddr) -> bool {

@@ -8,10 +8,13 @@
 //! draw sequence, cost accounting) flips at least one digit and fails the
 //! test, while pure performance work (layout, batching, probe merging)
 //! leaves it untouched. The values were recorded before the flat-slab cache
-//! refactor and prove it preserved simulation behaviour exactly.
+//! refactor and prove it preserved simulation behaviour exactly. Every test
+//! asserts the digest over both trace paths — streaming generation and
+//! trace-arena replay — so the shared-slab machinery is pinned to the same
+//! bit-identical outputs.
 
 use rnuca_sim::{AsrPolicy, CmpSimulator, LlcDesign};
-use rnuca_workloads::{TraceGenerator, WorkloadSpec};
+use rnuca_workloads::{TraceArena, TraceGenerator, WorkloadSpec};
 
 const WARMUP: usize = 20_000;
 const MEASURED: usize = 20_000;
@@ -24,16 +27,30 @@ fn run(design: LlcDesign, spec: &WorkloadSpec) -> String {
     format!("{:?}", sim.run_measured(&mut gen, MEASURED))
 }
 
+/// [`run`] replaying the stream from a trace-arena slab instead of the
+/// streaming generator. Every golden test asserts both paths against the
+/// same recorded digest, proving arena replay is bit-identical to streaming
+/// generation on the pinned simulation outputs.
+fn run_replayed(design: LlcDesign, spec: &WorkloadSpec) -> String {
+    let mut slice = TraceArena::new().slice(spec, SEED, WARMUP + MEASURED);
+    let mut sim = CmpSimulator::with_seed(design, spec, SEED);
+    sim.run_warmup(&mut slice, WARMUP);
+    format!("{:?}", sim.run_measured(&mut slice, MEASURED))
+}
+
 #[test]
 fn golden_private_oltp_db2() {
+    let golden = "MeasuredRun { cpi: DetailedCpi { breakdown: CpiBreakdown { busy: 1.0, l1_to_l1: 0.043192799999999996, l2: 0.8097137999999999, off_chip: 1.6485504, other: 0.13377, reclassification: 0.0 }, l2_private_data: 0.0171696, l2_instructions: 0.7428918, l2_shared_load: 0.0012936, l2_shared_coherence: 0.0483588, off_chip_instructions: 0.1555386 }, accesses: 20000, instructions: 476190.4761904762, off_chip_rate: 0.28605, l1_to_l1_rate: 0.029, misclassification_rate: 0.0, reclassifications: 0 }";
+    assert_eq!(run(LlcDesign::Private, &WorkloadSpec::oltp_db2()), golden);
     assert_eq!(
-        run(LlcDesign::Private, &WorkloadSpec::oltp_db2()),
-        "MeasuredRun { cpi: DetailedCpi { breakdown: CpiBreakdown { busy: 1.0, l1_to_l1: 0.043192799999999996, l2: 0.8097137999999999, off_chip: 1.6485504, other: 0.13377, reclassification: 0.0 }, l2_private_data: 0.0171696, l2_instructions: 0.7428918, l2_shared_load: 0.0012936, l2_shared_coherence: 0.0483588, off_chip_instructions: 0.1555386 }, accesses: 20000, instructions: 476190.4761904762, off_chip_rate: 0.28605, l1_to_l1_rate: 0.029, misclassification_rate: 0.0, reclassifications: 0 }"
+        run_replayed(LlcDesign::Private, &WorkloadSpec::oltp_db2()),
+        golden
     );
 }
 
 #[test]
 fn golden_asr_adaptive_oltp_db2() {
+    let golden = "MeasuredRun { cpi: DetailedCpi { breakdown: CpiBreakdown { busy: 1.0, l1_to_l1: 0.043192799999999996, l2: 0.9310392, off_chip: 1.6485504, other: 0.13377, reclassification: 0.0 }, l2_private_data: 0.0171696, l2_instructions: 0.8642046, l2_shared_load: 0.0012936, l2_shared_coherence: 0.048371399999999995, off_chip_instructions: 0.1555386 }, accesses: 20000, instructions: 476190.4761904762, off_chip_rate: 0.28605, l1_to_l1_rate: 0.029, misclassification_rate: 0.0, reclassifications: 0 }";
     assert_eq!(
         run(
             LlcDesign::Asr {
@@ -41,27 +58,48 @@ fn golden_asr_adaptive_oltp_db2() {
             },
             &WorkloadSpec::oltp_db2()
         ),
-        "MeasuredRun { cpi: DetailedCpi { breakdown: CpiBreakdown { busy: 1.0, l1_to_l1: 0.043192799999999996, l2: 0.9310392, off_chip: 1.6485504, other: 0.13377, reclassification: 0.0 }, l2_private_data: 0.0171696, l2_instructions: 0.8642046, l2_shared_load: 0.0012936, l2_shared_coherence: 0.048371399999999995, off_chip_instructions: 0.1555386 }, accesses: 20000, instructions: 476190.4761904762, off_chip_rate: 0.28605, l1_to_l1_rate: 0.029, misclassification_rate: 0.0, reclassifications: 0 }"
+        golden
+    );
+    assert_eq!(
+        run_replayed(
+            LlcDesign::Asr {
+                policy: AsrPolicy::Adaptive
+            },
+            &WorkloadSpec::oltp_db2()
+        ),
+        golden
     );
 }
 
 #[test]
 fn golden_shared_em3d() {
-    assert_eq!(run(LlcDesign::Shared, &WorkloadSpec::em3d()), "MeasuredRun { cpi: DetailedCpi { breakdown: CpiBreakdown { busy: 0.7, l1_to_l1: 0.0005302, l2: 0.0121924, off_chip: 1.5891612000000002, other: 0.1327788, reclassification: 0.0 }, l2_private_data: 0.0006270000000000001, l2_instructions: 0.0107118, l2_shared_load: 0.0008536, l2_shared_coherence: 0.0, off_chip_instructions: 0.0104258 }, accesses: 20000, instructions: 909090.9090909091, off_chip_rate: 0.54845, l1_to_l1_rate: 0.0009, misclassification_rate: 0.0, reclassifications: 0 }");
+    let golden = "MeasuredRun { cpi: DetailedCpi { breakdown: CpiBreakdown { busy: 0.7, l1_to_l1: 0.0005302, l2: 0.0121924, off_chip: 1.5891612000000002, other: 0.1327788, reclassification: 0.0 }, l2_private_data: 0.0006270000000000001, l2_instructions: 0.0107118, l2_shared_load: 0.0008536, l2_shared_coherence: 0.0, off_chip_instructions: 0.0104258 }, accesses: 20000, instructions: 909090.9090909091, off_chip_rate: 0.54845, l1_to_l1_rate: 0.0009, misclassification_rate: 0.0, reclassifications: 0 }";
+    assert_eq!(run(LlcDesign::Shared, &WorkloadSpec::em3d()), golden);
+    assert_eq!(
+        run_replayed(LlcDesign::Shared, &WorkloadSpec::em3d()),
+        golden
+    );
 }
 
 #[test]
 fn golden_rnuca_oltp_db2() {
+    let golden = "MeasuredRun { cpi: DetailedCpi { breakdown: CpiBreakdown { busy: 1.0, l1_to_l1: 0.022621199999999998, l2: 0.33446699999999996, off_chip: 1.8754134, other: 0.13377, reclassification: 0.050780099999999995 }, l2_private_data: 0.0171696, l2_instructions: 0.2938908, l2_shared_load: 0.0234066, l2_shared_coherence: 0.0, off_chip_instructions: 0.504042 }, accesses: 20000, instructions: 476190.4761904762, off_chip_rate: 0.35735, l1_to_l1_rate: 0.02755, misclassification_rate: 0.0121, reclassifications: 116 }";
     assert_eq!(
         run(LlcDesign::rnuca_default(), &WorkloadSpec::oltp_db2()),
-        "MeasuredRun { cpi: DetailedCpi { breakdown: CpiBreakdown { busy: 1.0, l1_to_l1: 0.022621199999999998, l2: 0.33446699999999996, off_chip: 1.8754134, other: 0.13377, reclassification: 0.050780099999999995 }, l2_private_data: 0.0171696, l2_instructions: 0.2938908, l2_shared_load: 0.0234066, l2_shared_coherence: 0.0, off_chip_instructions: 0.504042 }, accesses: 20000, instructions: 476190.4761904762, off_chip_rate: 0.35735, l1_to_l1_rate: 0.02755, misclassification_rate: 0.0121, reclassifications: 116 }"
+        golden
+    );
+    assert_eq!(
+        run_replayed(LlcDesign::rnuca_default(), &WorkloadSpec::oltp_db2()),
+        golden
     );
 }
 
 #[test]
 fn golden_ideal_dss_qry6() {
+    let golden = "MeasuredRun { cpi: DetailedCpi { breakdown: CpiBreakdown { busy: 0.8, l1_to_l1: 0.0, l2: 0.058130799999999996, off_chip: 2.254668, other: 0.03822, reclassification: 0.0 }, l2_private_data: 3.64e-5, l2_instructions: 0.057220799999999995, l2_shared_load: 0.0008736, l2_shared_coherence: 0.0, off_chip_instructions: 0.0271362 }, accesses: 20000, instructions: 769230.7692307692, off_chip_rate: 0.7353, l1_to_l1_rate: 0.0, misclassification_rate: 0.0, reclassifications: 0 }";
+    assert_eq!(run(LlcDesign::Ideal, &WorkloadSpec::dss_qry6()), golden);
     assert_eq!(
-        run(LlcDesign::Ideal, &WorkloadSpec::dss_qry6()),
-        "MeasuredRun { cpi: DetailedCpi { breakdown: CpiBreakdown { busy: 0.8, l1_to_l1: 0.0, l2: 0.058130799999999996, off_chip: 2.254668, other: 0.03822, reclassification: 0.0 }, l2_private_data: 3.64e-5, l2_instructions: 0.057220799999999995, l2_shared_load: 0.0008736, l2_shared_coherence: 0.0, off_chip_instructions: 0.0271362 }, accesses: 20000, instructions: 769230.7692307692, off_chip_rate: 0.7353, l1_to_l1_rate: 0.0, misclassification_rate: 0.0, reclassifications: 0 }"
+        run_replayed(LlcDesign::Ideal, &WorkloadSpec::dss_qry6()),
+        golden
     );
 }

@@ -326,6 +326,36 @@ impl Default for SystemConfig {
     }
 }
 
+/// The subset of a [`SystemConfig`] that determines the *contents* of a
+/// workload's reference stream.
+///
+/// Trace generation depends on the number of issuing cores and on the block
+/// and page granularities the address layout is built from — and on nothing
+/// else. Slice capacities, associativities, latencies, and topology shape
+/// what a stream *costs* to simulate, never which references it contains, so
+/// two configurations with equal `TraceGeometry` replay the identical
+/// stream. Trace memoization keys on this struct for exactly that reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceGeometry {
+    /// Number of cores issuing references.
+    pub num_cores: usize,
+    /// Cache-block size in bytes (the granularity references are aligned to).
+    pub block_bytes: usize,
+    /// OS page size in bytes (the granularity address regions are laid out in).
+    pub page_bytes: usize,
+}
+
+impl SystemConfig {
+    /// The trace-determining subset of this configuration (see [`TraceGeometry`]).
+    pub fn trace_geometry(&self) -> TraceGeometry {
+        TraceGeometry {
+            num_cores: self.num_cores,
+            block_bytes: self.l2_slice.geometry.block_bytes,
+            page_bytes: self.memory.page_bytes,
+        }
+    }
+}
+
 /// One point of a scenario sweep: a set of overrides applied on top of a
 /// workload's baseline [`SystemConfig`].
 ///
@@ -488,6 +518,22 @@ mod tests {
         let point = ConfigPoint::baseline();
         assert!(point.is_baseline());
         assert_eq!(point.apply(&base).unwrap(), base);
+    }
+
+    #[test]
+    fn trace_geometry_ignores_cost_only_parameters() {
+        let base = SystemConfig::server_16();
+        let g = base.trace_geometry();
+        assert_eq!(g.num_cores, 16);
+        assert_eq!(g.block_bytes, 64);
+        assert_eq!(g.page_bytes, 8192);
+        // Slice capacity shapes cost, not stream contents.
+        let resized = base.with_slice_capacity(512 * 1024).unwrap();
+        assert_eq!(resized.trace_geometry(), g);
+        // Core count changes the stream.
+        let scaled = base.with_core_count(64).unwrap();
+        assert_ne!(scaled.trace_geometry(), g);
+        assert_eq!(scaled.trace_geometry().num_cores, 64);
     }
 
     #[test]

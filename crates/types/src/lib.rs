@@ -32,10 +32,13 @@ pub mod error;
 pub mod ids;
 pub mod index_map;
 pub mod latency;
+pub mod os_hint;
 
 pub use access::{AccessClass, AccessKind, MemoryAccess};
 pub use addr::{BlockAddr, PageAddr, PhysAddr};
-pub use config::{CacheGeometry, ConfigPoint, L2SliceConfig, NocConfig, SystemConfig};
+pub use config::{
+    CacheGeometry, ConfigPoint, L2SliceConfig, NocConfig, SystemConfig, TraceGeometry,
+};
 pub use error::ConfigError;
 pub use ids::{CoreId, MemCtrlId, RotationalId, TileId};
 pub use index_map::U64Map;

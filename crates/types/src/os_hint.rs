@@ -1,0 +1,83 @@
+//! Process-local memory-placement hints for the simulator's large slabs.
+//!
+//! The randomly-probed structures the hot loop lives in — directory entry
+//! tables, open-addressed maps, flat cache slabs — reach tens of megabytes,
+//! so with 4 KB pages nearly every probe also misses the host's dTLB (and
+//! x86 silently drops software prefetches that miss the dTLB, blunting the
+//! batch drivers' lookahead). Backing those allocations with transparent
+//! huge pages cuts the dTLB working set by 512× and restores the prefetch
+//! path. [`advise_huge_pages`] asks the kernel for exactly that via
+//! `madvise(MADV_HUGEPAGE)` — affecting only this process's own mappings.
+//!
+//! The hint is best-effort by design: the syscall's result is ignored, the
+//! function is a no-op off Linux/x86-64, and a kernel with transparent huge
+//! pages disabled simply leaves the allocation on 4 KB pages. Nothing about
+//! correctness depends on it.
+
+/// Advises the kernel to back the given allocation with transparent huge
+/// pages. `len` is in bytes; the range is shrunk inward to page alignment
+/// (madvise requires an aligned start). Errors are deliberately ignored —
+/// this is a placement hint, not a requirement — and allocations smaller
+/// than one huge page are skipped outright.
+pub fn advise_huge_pages<T>(ptr: *const T, len_bytes: usize) {
+    /// Smallest allocation worth hinting: one 2 MB huge page.
+    const HUGE_PAGE: usize = 2 * 1024 * 1024;
+    if len_bytes < HUGE_PAGE || ptr.is_null() {
+        return;
+    }
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        const PAGE: usize = 4096;
+        const SYS_MADVISE: usize = 28;
+        const MADV_HUGEPAGE: usize = 14;
+        let start = ptr as usize;
+        let aligned_start = (start + PAGE - 1) & !(PAGE - 1);
+        let aligned_end = (start + len_bytes) & !(PAGE - 1);
+        if aligned_end <= aligned_start {
+            return;
+        }
+        // SAFETY: madvise(MADV_HUGEPAGE) never alters memory contents or
+        // validity; it only sets a VMA flag on pages this process already
+        // owns. The asm block clobbers exactly what the Linux x86-64
+        // syscall ABI clobbers (rax return, rcx/r11 scratch).
+        unsafe {
+            let mut _ret: isize;
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MADVISE as isize => _ret,
+                in("rdi") aligned_start,
+                in("rsi") aligned_end - aligned_start,
+                in("rdx") MADV_HUGEPAGE,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack, preserves_flags)
+            );
+        }
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        let _ = (ptr, len_bytes);
+    }
+}
+
+/// [`advise_huge_pages`] over a slice's elements.
+pub fn advise_huge_pages_slice<T>(slice: &[T]) {
+    advise_huge_pages(slice.as_ptr(), std::mem::size_of_val(slice));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hinting_never_disturbs_contents() {
+        // Large enough to clear the huge-page threshold.
+        let v = vec![0xA5u8; 4 * 1024 * 1024];
+        advise_huge_pages_slice(&v);
+        assert!(v.iter().all(|&b| b == 0xA5));
+        // Small, empty, and null-ish inputs are no-ops.
+        advise_huge_pages_slice(&[0u8; 16]);
+        advise_huge_pages_slice::<u64>(&[]);
+        advise_huge_pages(std::ptr::null::<u8>(), usize::MAX);
+    }
+}

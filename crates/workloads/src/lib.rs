@@ -12,6 +12,11 @@
 //! [`TraceGenerator`] turns it into a reproducible stream of L2 references
 //! (the unit of analysis used throughout the paper).
 //!
+//! The [`arena`] module memoizes generated streams: a [`TraceArena`]
+//! materializes each unique `(workload, geometry, seed)` stream exactly once
+//! into a packed [`TraceSlab`] and replays it through [`TraceSlice`] cursors,
+//! so experiments that run many designs over one stream generate it once.
+//!
 //! The [`characterize`] module recomputes the paper's characterization figures
 //! from generated traces, closing the loop: the traces we feed the simulator
 //! demonstrably exhibit the class mix, footprints, sharing, and reuse the
@@ -33,12 +38,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod characterize;
 pub mod generator;
 pub mod regions;
 pub mod spec;
 pub mod trace_io;
 
+pub use arena::{TraceArena, TraceKey, TraceSlab, TraceSlice, TraceSource};
 pub use characterize::{
     ClassBreakdown, ReuseHistogram, SharerProfile, TraceCharacterization, WorkingSetCdf,
 };
