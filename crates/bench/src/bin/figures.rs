@@ -235,12 +235,14 @@ fn perf(
     };
     println!(
         "{} scenarios, {} refs, {:.0} blocks/sec (hot path), {:.2} jobs/sec, \
-         {:.2}s trace generation (once per unique stream) -> {written}",
+         {:.2}s trace generation (once per unique stream), \
+         {:.2}s checkpoint warming (once per unique checkpoint) -> {written}",
         report.totals.scenarios,
         report.totals.refs,
         report.totals.blocks_per_sec,
         report.totals.jobs_per_sec,
         report.totals.tracegen_nanos as f64 / 1e9,
+        report.totals.snapshot_nanos as f64 / 1e9,
     );
     if let Some(g) = gate {
         println!(

@@ -12,14 +12,18 @@
 //!
 //! Two throughput figures matter:
 //!
-//! * **blocks/sec** — simulated L2 block references driven through
-//!   [`CmpSimulator::step`] per second of *loop time* (the warm-up plus
-//!   measured windows, excluding simulator construction and — since schema
-//!   v3 — trace generation, which happens once per unique stream in the
-//!   shared [`TraceArena`] and is reported as the totals' `tracegen_nanos`).
-//!   Loop time is summed across scenarios, so the aggregate is largely
-//!   independent of the worker-pool size: it measures the hot path, not the
-//!   parallelism.
+//! * **blocks/sec** — simulated L2 block references covered per second of
+//!   *loop time*. Since schema v4 the per-scenario loop is checkpoint fork
+//!   plus measured window: warm-up runs once per unique
+//!   `(workload, cores, warm-up class, seed)` checkpoint in a shared
+//!   [`SnapshotArena`] (reported as the totals' `snapshot_nanos`, like
+//!   trace generation's `tracegen_nanos`), and every scenario restores the
+//!   checkpoint instead of re-driving the warm-up prefix. A scenario's
+//!   `refs` still counts warm-up plus measured references — that is the
+//!   simulation work the scenario *covers* — so blocks/sec measures how
+//!   fast the system delivers warmed results, amortization included. Loop
+//!   time is summed across scenarios, so the aggregate is largely
+//!   independent of the worker-pool size.
 //! * **jobs/sec** — scenarios completed per second of wall-clock time for
 //!   the whole run. This one *does* scale with workers, construction, and
 //!   generation cost; it is the end-to-end figure.
@@ -31,7 +35,8 @@
 
 use crate::json::{json_string, JsonValue};
 use rnuca_sim::{
-    AsrPolicy, CmpSimulator, ExperimentConfig, ExperimentEngine, LlcDesign, MeasuredRun,
+    AsrPolicy, ExperimentConfig, ExperimentEngine, LlcDesign, MeasuredRun, SnapshotArena,
+    SnapshotKey,
 };
 use rnuca_types::config::ConfigPoint;
 use rnuca_workloads::{TraceArena, TraceKey, WorkloadSpec};
@@ -92,11 +97,13 @@ pub struct PerfResult {
     pub total_cpi: f64,
     /// Off-chip rate of the measured window (deterministic).
     pub off_chip_rate: f64,
-    /// Wall-clock nanoseconds spent in the warm-up loop.
-    pub warmup_nanos: u64,
+    /// Wall-clock nanoseconds spent forking the warmed checkpoint: decoding
+    /// the snapshot into a fresh simulator and seating the replay cursor
+    /// past the warm-up prefix.
+    pub fork_nanos: u64,
     /// Wall-clock nanoseconds spent in the measured loop.
     pub measured_nanos: u64,
-    /// Wall-clock nanoseconds spent in the warm-up + measured loops.
+    /// Wall-clock nanoseconds spent in the fork + measured loop.
     pub loop_nanos: u64,
     /// Throughput of the simulation loop: `refs / loop_nanos`.
     pub blocks_per_sec: f64,
@@ -115,8 +122,15 @@ pub struct PerfTotals {
     /// once per unique `(workload, cores, seed)` stream, not once per
     /// scenario, and is excluded from `loop_nanos`.
     pub tracegen_nanos: u64,
-    /// Summed warm-up time across scenarios, in nanoseconds.
-    pub warmup_nanos: u64,
+    /// Wall-clock nanoseconds spent warming the unique checkpoints into the
+    /// snapshot arena, before any scenario loop ran. Schema v4 reports this
+    /// separately from simulation time for the same reason as
+    /// `tracegen_nanos`: warm-up happens once per unique
+    /// `(workload, warm-up class, seed, warm-up length)` checkpoint, not
+    /// once per scenario, and is excluded from `loop_nanos`.
+    pub snapshot_nanos: u64,
+    /// Summed checkpoint-fork time across scenarios, in nanoseconds.
+    pub fork_nanos: u64,
     /// Summed measured-window time across scenarios, in nanoseconds.
     pub measured_nanos: u64,
     /// Summed loop time across scenarios, in nanoseconds.
@@ -148,8 +162,13 @@ pub struct PerfReport {
 /// are materialized once per unique `(workload, cores, seed)` key in a
 /// shared trace arena and replayed by every scenario, so `loop_nanos` (and
 /// therefore `blocks_per_sec`) now measures simulation alone while the
-/// one-time generation cost stays attributable.
-pub const PERF_SCHEMA_VERSION: u64 = 3;
+/// one-time generation cost stays attributable. Version 4 did the same to
+/// warm-up: scenarios fork warmed checkpoints out of a shared
+/// [`SnapshotArena`] instead of re-driving the warm-up prefix, the
+/// one-time warming cost moved into the totals' `snapshot_nanos`, and the
+/// per-scenario `warmup_nanos` became `fork_nanos` (checkpoint restore +
+/// replay-cursor seek).
+pub const PERF_SCHEMA_VERSION: u64 = 4;
 
 /// The representative workloads the perf suite times: a sharing-heavy server
 /// workload (OLTP DB2), a nearest-neighbour scientific code (em3d), and a
@@ -216,11 +235,16 @@ pub fn run_perf(cfg: &ExperimentConfig, engine: &ExperimentEngine) -> PerfReport
 
 /// Runs `scenarios` on `engine`, timing each scenario's simulation loop.
 ///
-/// Before any scenario runs, the unique reference streams behind the list
-/// (one per `(workload, cores, seed)` — the 45-scenario default needs only
-/// 9) are materialized in parallel into a shared [`TraceArena`]; that
-/// one-time cost is reported as the totals' `tracegen_nanos`. Each scenario
-/// then replays its slab, so the timed loops measure simulation alone.
+/// Before any scenario runs, two shared pools are filled in parallel: the
+/// unique reference streams behind the list (one per `(workload, cores,
+/// seed)` — the 45-scenario default needs only 9) are materialized into a
+/// shared [`TraceArena`] (reported as `tracegen_nanos`), then the unique
+/// warmed checkpoints (one per `(workload, cores, warm-up class, seed)` —
+/// the default needs 45 because no two of the five designs share a warm-up
+/// class, but an ASR sweep would collapse onto one) are warmed into a
+/// shared [`SnapshotArena`] (reported as `snapshot_nanos`). Each scenario
+/// then forks its checkpoint and runs only the measured window, so the
+/// timed loops measure checkpoint restore plus steady-state simulation.
 ///
 /// The deterministic fields of the report (scenario identity, reference
 /// counts, CPI digests) are identical for every worker count; only the
@@ -232,6 +256,7 @@ pub fn run_perf_scenarios(
 ) -> PerfReport {
     let start = Instant::now();
     let arena = TraceArena::new();
+    let snapshots = SnapshotArena::new();
     let mut seen = HashSet::new();
     let unique: Vec<&PerfScenario> = scenarios
         .iter()
@@ -242,10 +267,34 @@ pub fn run_perf_scenarios(
         arena.populate(&s.workload, cfg.seed, cfg.total_refs())
     });
     let tracegen_nanos = saturating_nanos(t.elapsed().as_nanos());
+    let mut seen = HashSet::new();
+    let warm: Vec<&PerfScenario> = scenarios
+        .iter()
+        .filter(|s| {
+            seen.insert(SnapshotKey::new(
+                s.design,
+                &s.workload,
+                cfg.seed,
+                cfg.warmup_refs,
+            ))
+        })
+        .collect();
+    let t = Instant::now();
+    engine.run(&warm, |_, s| {
+        snapshots.populate(
+            &arena,
+            s.design,
+            &s.workload,
+            cfg.seed,
+            cfg.warmup_refs,
+            cfg.total_refs(),
+        )
+    });
+    let snapshot_nanos = saturating_nanos(t.elapsed().as_nanos());
     let results = engine.run(scenarios, |_, s| {
-        let (run, warmup_nanos, measured_nanos) = time_scenario(s, cfg, &arena);
+        let (run, fork_nanos, measured_nanos) = time_scenario(s, cfg, &arena, &snapshots);
         let refs = cfg.total_refs() as u64;
-        let loop_nanos = warmup_nanos + measured_nanos;
+        let loop_nanos = fork_nanos + measured_nanos;
         PerfResult {
             workload: s.workload.name.clone(),
             letter: s.design.letter(),
@@ -254,7 +303,7 @@ pub fn run_perf_scenarios(
             refs,
             total_cpi: run.total_cpi(),
             off_chip_rate: run.off_chip_rate,
-            warmup_nanos,
+            fork_nanos,
             measured_nanos,
             loop_nanos,
             blocks_per_sec: per_sec(refs, loop_nanos),
@@ -262,14 +311,15 @@ pub fn run_perf_scenarios(
     });
     let elapsed_nanos = saturating_nanos(start.elapsed().as_nanos());
     let refs: u64 = results.iter().map(|r| r.refs).sum();
-    let warmup_nanos: u64 = results.iter().map(|r| r.warmup_nanos).sum();
+    let fork_nanos: u64 = results.iter().map(|r| r.fork_nanos).sum();
     let measured_nanos: u64 = results.iter().map(|r| r.measured_nanos).sum();
-    let loop_nanos = warmup_nanos + measured_nanos;
+    let loop_nanos = fork_nanos + measured_nanos;
     let totals = PerfTotals {
         scenarios: results.len(),
         refs,
         tracegen_nanos,
-        warmup_nanos,
+        snapshot_nanos,
+        fork_nanos,
         measured_nanos,
         loop_nanos,
         elapsed_nanos,
@@ -283,26 +333,36 @@ pub fn run_perf_scenarios(
     }
 }
 
-/// Builds, warms, and measures one scenario over its pre-materialized arena
-/// stream, returning the measured run and the per-phase loop times in
-/// nanoseconds (construction and trace generation excluded — the loop is
-/// the simulation hot path the regression gate guards). The warm-up phase
-/// is dominated by cold caches and map growth, the measured phase by
-/// steady-state behaviour; recording both makes phase-specific regressions
-/// visible instead of averaged away.
+/// Forks and measures one scenario over its pre-warmed checkpoint and
+/// pre-materialized arena stream, returning the measured run and the
+/// per-phase loop times in nanoseconds (construction, trace generation and
+/// checkpoint warming excluded — the loop is the per-scenario hot path the
+/// regression gate guards). The fork phase is dominated by snapshot
+/// decoding and the replay-cursor seek, the measured phase by steady-state
+/// behaviour; recording both makes phase-specific regressions visible
+/// instead of averaged away.
 fn time_scenario(
     s: &PerfScenario,
     cfg: &ExperimentConfig,
     arena: &TraceArena,
+    snapshots: &SnapshotArena,
 ) -> (MeasuredRun, u64, u64) {
-    let mut slice = arena.slice(&s.workload, cfg.seed, cfg.total_refs());
-    let mut sim = CmpSimulator::with_seed(s.design, &s.workload, cfg.seed);
+    let snap = snapshots.snapshot(
+        arena,
+        s.design,
+        &s.workload,
+        cfg.seed,
+        cfg.warmup_refs,
+        cfg.total_refs(),
+    );
     let t = Instant::now();
-    sim.run_warmup(&mut slice, cfg.warmup_refs);
-    let warmup_nanos = saturating_nanos(t.elapsed().as_nanos());
+    let mut sim = snap.fork(s.design, &s.workload);
+    let mut slice = arena.slice(&s.workload, cfg.seed, cfg.total_refs());
+    slice.skip(cfg.warmup_refs);
+    let fork_nanos = saturating_nanos(t.elapsed().as_nanos());
     let t = Instant::now();
     let run = sim.run_measured(&mut slice, cfg.measured_refs);
-    (run, warmup_nanos, saturating_nanos(t.elapsed().as_nanos()))
+    (run, fork_nanos, saturating_nanos(t.elapsed().as_nanos()))
 }
 
 fn per_sec(count: u64, nanos: u64) -> f64 {
@@ -350,7 +410,7 @@ impl PerfReport {
             out.push_str(&format!(
                 "    {{\"workload\": {}, \"design\": {}, \"letter\": \"{}\", \
                  \"cores\": {}, \"refs\": {}, \"total_cpi\": {}, \"off_chip_rate\": {}, \
-                 \"warmup_nanos\": {}, \"measured_nanos\": {}, \
+                 \"fork_nanos\": {}, \"measured_nanos\": {}, \
                  \"loop_nanos\": {}, \"blocks_per_sec\": {}}}",
                 json_string(&r.workload),
                 json_string(&r.design),
@@ -359,7 +419,7 @@ impl PerfReport {
                 r.refs,
                 r.total_cpi,
                 r.off_chip_rate,
-                tn(r.warmup_nanos),
+                tn(r.fork_nanos),
                 tn(r.measured_nanos),
                 tn(r.loop_nanos),
                 t(r.blocks_per_sec),
@@ -373,13 +433,14 @@ impl PerfReport {
         out.push_str("  ],\n");
         out.push_str(&format!(
             "  \"totals\": {{\"scenarios\": {}, \"refs\": {}, \
-             \"tracegen_nanos\": {}, \
-             \"warmup_nanos\": {}, \"measured_nanos\": {}, \"loop_nanos\": {}, \
+             \"tracegen_nanos\": {}, \"snapshot_nanos\": {}, \
+             \"fork_nanos\": {}, \"measured_nanos\": {}, \"loop_nanos\": {}, \
              \"elapsed_nanos\": {}, \"blocks_per_sec\": {}, \"jobs_per_sec\": {}}}",
             self.totals.scenarios,
             self.totals.refs,
             tn(self.totals.tracegen_nanos),
-            tn(self.totals.warmup_nanos),
+            tn(self.totals.snapshot_nanos),
+            tn(self.totals.fork_nanos),
             tn(self.totals.measured_nanos),
             tn(self.totals.loop_nanos),
             tn(self.totals.elapsed_nanos),
@@ -541,18 +602,22 @@ mod tests {
             report.totals.tracegen_nanos > 0,
             "materializing the shared stream takes measurable time"
         );
+        assert!(
+            report.totals.snapshot_nanos > 0,
+            "warming the shared checkpoints takes measurable time"
+        );
         assert_eq!(
             report.totals.loop_nanos,
             report.results.iter().map(|r| r.loop_nanos).sum::<u64>()
         );
         assert_eq!(
             report.totals.loop_nanos,
-            report.totals.warmup_nanos + report.totals.measured_nanos
+            report.totals.fork_nanos + report.totals.measured_nanos
         );
         for r in &report.results {
             assert!(r.total_cpi > 0.0);
             assert!(r.loop_nanos > 0, "the loop must take measurable time");
-            assert_eq!(r.loop_nanos, r.warmup_nanos + r.measured_nanos);
+            assert_eq!(r.loop_nanos, r.fork_nanos + r.measured_nanos);
             assert!(r.blocks_per_sec > 0.0);
         }
         assert!(report.totals.blocks_per_sec > 0.0);
@@ -583,7 +648,7 @@ mod tests {
             doc.keys(),
             vec!["schema_version", "config", "scenarios", "totals"]
         );
-        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(3.0));
+        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(4.0));
         let scenarios = doc.get("scenarios").unwrap().as_array().unwrap();
         assert_eq!(scenarios.len(), 2);
         for s in scenarios {
@@ -597,7 +662,7 @@ mod tests {
                     "refs",
                     "total_cpi",
                     "off_chip_rate",
-                    "warmup_nanos",
+                    "fork_nanos",
                     "measured_nanos",
                     "loop_nanos",
                     "blocks_per_sec"
@@ -609,7 +674,8 @@ mod tests {
             "scenarios",
             "refs",
             "tracegen_nanos",
-            "warmup_nanos",
+            "snapshot_nanos",
+            "fork_nanos",
             "measured_nanos",
             "loop_nanos",
             "elapsed_nanos",

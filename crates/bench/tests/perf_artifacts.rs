@@ -51,7 +51,7 @@ fn recorded_bench_perf_json_parses_with_schema_and_speedup() {
     let doc = JsonValue::parse(&read("BENCH_perf.json")).expect("BENCH_perf.json must parse");
     assert_eq!(
         doc.get("schema_version").and_then(JsonValue::as_f64),
-        Some(3.0)
+        Some(4.0)
     );
     let scenarios = doc
         .get("scenarios")
@@ -70,7 +70,7 @@ fn recorded_bench_perf_json_parses_with_schema_and_speedup() {
             "cores",
             "refs",
             "total_cpi",
-            "warmup_nanos",
+            "fork_nanos",
             "measured_nanos",
             "blocks_per_sec",
         ] {
@@ -104,26 +104,26 @@ fn recorded_bench_perf_json_parses_with_schema_and_speedup() {
     );
 
     // ...and when it was recorded at the full configuration (the checked-in
-    // record always is), it must document the >=1.3x hot-path improvement
-    // the shared trace arena achieved over the flat-slab round it ratcheted
-    // from (generation now happens once per unique stream, outside the
-    // timed loops).
+    // record always is), it must document the >=2x hot-path improvement the
+    // warmed-checkpoint arena achieved over the streaming round it ratcheted
+    // from (warm-up now runs once per unique checkpoint, outside the timed
+    // loops, and every scenario forks the snapshot instead).
     let warmup = doc
         .get("config")
         .and_then(|c| c.get("warmup_refs"))
         .and_then(JsonValue::as_f64);
     if warmup == Some(600_000.0) {
         assert!(
-            speedup >= 1.3,
-            "full-config record must show at least 1.3x over pre-optimization, got {speedup:.2}"
+            speedup >= 2.0,
+            "full-config record must show at least 2x over pre-optimization, got {speedup:.2}"
         );
     }
 
-    // The per-phase counters of schema v2 are present and consistent.
-    let totals_warmup = totals
-        .get("warmup_nanos")
+    // The per-phase counters of schema v4 are present and consistent.
+    let totals_fork = totals
+        .get("fork_nanos")
         .and_then(JsonValue::as_f64)
-        .expect("totals carry warmup_nanos");
+        .expect("totals carry fork_nanos");
     let totals_measured = totals
         .get("measured_nanos")
         .and_then(JsonValue::as_f64)
@@ -132,21 +132,26 @@ fn recorded_bench_perf_json_parses_with_schema_and_speedup() {
         .get("loop_nanos")
         .and_then(JsonValue::as_f64)
         .unwrap();
-    assert_eq!(totals_warmup + totals_measured, totals_loop);
+    assert_eq!(totals_fork + totals_measured, totals_loop);
 
-    // Schema v3: trace generation is reported separately from simulation,
-    // and it no longer inflates the gated loop time.
+    // Schemas v3/v4: trace generation and checkpoint warming are reported
+    // separately from simulation, and neither inflates the gated loop time.
     let tracegen = totals
         .get("tracegen_nanos")
         .and_then(JsonValue::as_f64)
         .expect("schema v3 totals carry tracegen_nanos");
     assert!(tracegen > 0.0, "recorded run materialized streams");
+    let snapshot = totals
+        .get("snapshot_nanos")
+        .and_then(JsonValue::as_f64)
+        .expect("schema v4 totals carry snapshot_nanos");
+    assert!(snapshot > 0.0, "recorded run warmed checkpoints");
     let elapsed = totals
         .get("elapsed_nanos")
         .and_then(JsonValue::as_f64)
         .unwrap();
     assert!(
-        tracegen < elapsed,
-        "generation is one phase of the run, not the whole of it"
+        tracegen + snapshot < elapsed,
+        "generation and warming are phases of the run, not the whole of it"
     );
 }

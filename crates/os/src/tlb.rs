@@ -16,6 +16,7 @@
 use crate::page_table::PageClass;
 use rnuca_types::addr::PageAddr;
 use rnuca_types::index_map::U64Map;
+use rnuca_types::{Snap, SnapReader};
 use serde::{Deserialize, Serialize};
 
 /// Statistics accumulated by a [`Tlb`].
@@ -35,7 +36,7 @@ pub struct TlbStats {
 const NIL: u32 = u32::MAX;
 
 /// One slab entry of the LRU list.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Node {
     page: u64,
     class: PageClass,
@@ -44,7 +45,7 @@ struct Node {
 }
 
 /// A fully-associative, LRU translation lookaside buffer caching page classifications.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tlb {
     capacity: usize,
     /// Page number → slab slot of its node.
@@ -200,6 +201,68 @@ impl Tlb {
         self.map
             .get(page.page_number())
             .map(|&idx| self.nodes[idx as usize].class)
+    }
+}
+
+impl Snap for TlbStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.hits.encode(out);
+        self.misses.encode(out);
+        self.shootdowns.encode(out);
+        self.evictions.encode(out);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Self {
+        TlbStats {
+            hits: r.get(),
+            misses: r.get(),
+            shootdowns: r.get(),
+            evictions: r.get(),
+        }
+    }
+}
+
+impl Snap for Node {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.page.encode(out);
+        self.class.encode(out);
+        self.prev.encode(out);
+        self.next.encode(out);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Self {
+        Node {
+            page: r.get(),
+            class: r.get(),
+            prev: r.get(),
+            next: r.get(),
+        }
+    }
+}
+
+impl Snap for Tlb {
+    /// Encodes the node slab, free list, and LRU links verbatim, so the
+    /// decoded TLB evicts in exactly the order the original would.
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.capacity.encode(out);
+        self.map.encode(out);
+        self.nodes.encode(out);
+        self.free.encode(out);
+        self.head.encode(out);
+        self.tail.encode(out);
+        self.stats.encode(out);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Self {
+        Tlb {
+            capacity: r.get(),
+            map: r.get(),
+            nodes: r.get(),
+            free: r.get(),
+            head: r.get(),
+            tail: r.get(),
+            stats: r.get(),
+        }
     }
 }
 

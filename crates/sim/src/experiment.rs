@@ -18,10 +18,20 @@
 //! memoized slab instead of regenerating the stream. Replay is bit-identical
 //! to streaming generation (the golden-result tests pin this), so the arena
 //! changes wall-clock time only.
+//!
+//! Warm-up is deduplicated the same way through a
+//! [`SnapshotArena`]: each unique warmed state — one per
+//! `(workload, warm-up class, seed, warm-up length)` — is built once and
+//! serialized, and every job *forks* from the checkpoint instead of
+//! re-driving the warm-up prefix. Forks are bit-identical to streamed
+//! warm-up (the differential suite pins this), so snapshots, like the trace
+//! arena, change wall-clock time only. The big winner is ASR best-of-six:
+//! all six variants fork from one checkpoint, so the sweep warms once.
 
 use crate::design::{AsrPolicy, LlcDesign};
 use crate::engine::ExperimentEngine;
 use crate::simulator::{CmpSimulator, MeasuredRun};
+use crate::snapshot::SnapshotArena;
 use rnuca_workloads::{TraceArena, TraceGenerator, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -203,6 +213,38 @@ impl DesignComparison {
         }
     }
 
+    /// [`Self::run_single_with_arena`] forking the warmed state from
+    /// `snapshots` instead of re-driving the warm-up prefix: the checkpoint
+    /// is built on first request (and shared by every design in its warm-up
+    /// class), the fork restores it bit-for-bit, and the measured phase
+    /// replays the arena stream from directly after the warm-up prefix. The
+    /// result is bit-identical to the warm-then-measure paths.
+    pub fn run_single_forked(
+        spec: &WorkloadSpec,
+        design: LlcDesign,
+        cfg: &ExperimentConfig,
+        traces: &TraceArena,
+        snapshots: &SnapshotArena,
+    ) -> RunResult {
+        let snap = snapshots.snapshot(
+            traces,
+            design,
+            spec,
+            cfg.seed,
+            cfg.warmup_refs,
+            cfg.total_refs(),
+        );
+        let mut sim = snap.fork(design, spec);
+        let mut slice = traces.slice(spec, cfg.seed, cfg.total_refs());
+        slice.skip(cfg.warmup_refs);
+        let run = sim.run_measured(&mut slice, cfg.measured_refs);
+        RunResult {
+            workload: spec.name.clone(),
+            design,
+            run,
+        }
+    }
+
     /// The ASR design variants one workload must run: the six versions when
     /// `asr_best_of` is set, the adaptive version alone otherwise.
     fn asr_variants(cfg: &ExperimentConfig) -> Vec<LlcDesign> {
@@ -248,19 +290,42 @@ impl DesignComparison {
 
     /// [`Self::run_asr_with`] resolving every variant through `arena`. All
     /// six ASR versions of one `(workload, config-point)` replay the same
-    /// memoized slab: the stream is materialized once (by the populate call
-    /// below, or earlier by whoever shares the arena) and the variant jobs
-    /// only differ in simulator policy.
+    /// memoized slab and fork from one warmed checkpoint: the stream is
+    /// materialized once and the warm-up runs once, no matter how many
+    /// variants the sweep compares.
     pub fn run_asr_with_arena(
         spec: &WorkloadSpec,
         cfg: &ExperimentConfig,
         engine: &ExperimentEngine,
         arena: &TraceArena,
     ) -> RunResult {
-        arena.populate(spec, cfg.seed, cfg.total_refs());
+        Self::run_asr_forked(spec, cfg, engine, arena, &SnapshotArena::new())
+    }
+
+    /// [`Self::run_asr_with_arena`] forking every variant from an explicit
+    /// `snapshots` arena (exposed so callers can share checkpoints across
+    /// experiments and inspect deduplication): the six ASR versions share
+    /// one warm-up class, so the checkpoint is warmed exactly once and each
+    /// variant job is fork + measured window.
+    pub fn run_asr_forked(
+        spec: &WorkloadSpec,
+        cfg: &ExperimentConfig,
+        engine: &ExperimentEngine,
+        traces: &TraceArena,
+        snapshots: &SnapshotArena,
+    ) -> RunResult {
+        traces.populate(spec, cfg.seed, cfg.total_refs());
         let variants = Self::asr_variants(cfg);
+        snapshots.populate(
+            traces,
+            variants[0],
+            spec,
+            cfg.seed,
+            cfg.warmup_refs,
+            cfg.total_refs(),
+        );
         Self::best_asr(engine.run(&variants, |_, design| {
-            Self::run_single_with_arena(spec, *design, cfg, arena)
+            Self::run_single_forked(spec, *design, cfg, traces, snapshots)
         }))
     }
 
@@ -322,9 +387,51 @@ impl DesignComparison {
         engine: &ExperimentEngine,
         arena: &TraceArena,
     ) -> DesignComparison {
+        Self::run_evaluation_forked(cfg, engine, arena, &SnapshotArena::new())
+    }
+
+    /// [`Self::run_evaluation_with_arena`] forking every design job from an
+    /// explicit `snapshots` arena. The unique checkpoints — one per
+    /// `(workload, warm-up class)` at one seed, so five per workload with
+    /// the six ASR variants collapsed onto one — are pre-warmed in parallel
+    /// on the engine, then every design job is fork + measured window.
+    pub fn run_evaluation_forked(
+        cfg: &ExperimentConfig,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+        snapshots: &SnapshotArena,
+    ) -> DesignComparison {
         let specs = WorkloadSpec::evaluation_suite();
         engine.run(&specs, |_, spec| {
             arena.populate(spec, cfg.seed, cfg.total_refs())
+        });
+        let warm_jobs: Vec<(usize, LlcDesign)> = specs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, _)| {
+                [
+                    (i, LlcDesign::Private),
+                    (
+                        i,
+                        LlcDesign::Asr {
+                            policy: AsrPolicy::Adaptive,
+                        },
+                    ),
+                    (i, LlcDesign::Shared),
+                    (i, LlcDesign::rnuca_default()),
+                    (i, LlcDesign::Ideal),
+                ]
+            })
+            .collect();
+        engine.run(&warm_jobs, |_, &(i, design)| {
+            snapshots.populate(
+                arena,
+                design,
+                &specs[i],
+                cfg.seed,
+                cfg.warmup_refs,
+                cfg.total_refs(),
+            )
         });
         let asr_variants = Self::asr_variants(cfg);
         // Per workload: P, the ASR variants, then S, R, I — contiguous, so
@@ -343,7 +450,7 @@ impl DesignComparison {
             })
             .collect();
         let results = engine.run(&jobs, |_, &(i, design)| {
-            Self::run_single_with_arena(&specs[i], design, cfg, arena)
+            Self::run_single_forked(&specs[i], design, cfg, arena, snapshots)
         });
 
         let mut results = results.into_iter();
@@ -377,7 +484,10 @@ impl DesignComparison {
     /// [`Self::run_cluster_sweep`] on an explicit engine, one job per
     /// `(workload, cluster size)` pair. Sizes exceeding a workload's core
     /// count are skipped. Every size of one workload replays the same
-    /// arena slab — the cluster size never changes the reference stream.
+    /// arena slab — the cluster size never changes the reference stream —
+    /// and forks from its size's own checkpoint (cluster size changes where
+    /// warm-up places instruction blocks, so sizes warm separately; the
+    /// checkpoints are pre-warmed in parallel).
     pub fn run_cluster_sweep_with(
         cfg: &ExperimentConfig,
         sizes: &[usize],
@@ -385,6 +495,7 @@ impl DesignComparison {
     ) -> Vec<(String, Vec<(usize, MeasuredRun)>)> {
         let specs = WorkloadSpec::evaluation_suite();
         let arena = TraceArena::new();
+        let snapshots = SnapshotArena::new();
         engine.run(&specs, |_, spec| {
             arena.populate(spec, cfg.seed, cfg.total_refs())
         });
@@ -399,14 +510,27 @@ impl DesignComparison {
                     .map(move |s| (i, s))
             })
             .collect();
+        engine.run(&jobs, |_, &(i, size)| {
+            snapshots.populate(
+                &arena,
+                LlcDesign::RNuca {
+                    instr_cluster_size: size,
+                },
+                &specs[i],
+                cfg.seed,
+                cfg.warmup_refs,
+                cfg.total_refs(),
+            )
+        });
         let results = engine.run(&jobs, |_, &(i, size)| {
-            let r = Self::run_single_with_arena(
+            let r = Self::run_single_forked(
                 &specs[i],
                 LlcDesign::RNuca {
                     instr_cluster_size: size,
                 },
                 cfg,
                 &arena,
+                &snapshots,
             );
             (size, r.run)
         });
@@ -571,6 +695,67 @@ mod tests {
         assert_eq!(comparison.workloads.len(), 8);
         assert_eq!(arena.len(), WorkloadSpec::evaluation_suite().len());
         assert_eq!(arena.generations(), arena.len());
+    }
+
+    #[test]
+    fn forked_run_matches_the_streaming_path_for_every_design() {
+        // The snapshot subsystem's core contract at the experiment level:
+        // fork + measure equals warm + measure, bit for bit, per design.
+        let cfg = ExperimentConfig::quick();
+        let traces = TraceArena::new();
+        let snapshots = SnapshotArena::new();
+        for design in LlcDesign::speedup_set() {
+            let spec = WorkloadSpec::oltp_db2();
+            assert_eq!(
+                DesignComparison::run_single_forked(&spec, design, &cfg, &traces, &snapshots),
+                DesignComparison::run_single(&spec, design, &cfg),
+                "{design} fork must match streamed warm-up"
+            );
+        }
+        assert_eq!(traces.len(), 1, "one workload, one stream");
+    }
+
+    #[test]
+    fn asr_best_of_six_forks_from_one_snapshot() {
+        // Satellite acceptance: the six ASR variants share one warm-up
+        // class, so the best-of-six sweep warms exactly once and every
+        // variant forks from the same checkpoint.
+        let spec = WorkloadSpec::oltp_db2();
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.asr_best_of = true;
+        let traces = TraceArena::new();
+        let snapshots = SnapshotArena::new();
+        let best = DesignComparison::run_asr_forked(
+            &spec,
+            &cfg,
+            &ExperimentEngine::with_workers(4),
+            &traces,
+            &snapshots,
+        );
+        assert_eq!(best.design.letter(), "A");
+        assert_eq!(snapshots.len(), 1, "six variants, one warm-up class");
+        assert_eq!(snapshots.generations(), 1, "the warm-up ran exactly once");
+        assert_eq!(traces.generations(), 1, "the stream was generated once");
+    }
+
+    #[test]
+    fn full_evaluation_warms_one_checkpoint_per_class() {
+        // After a full evaluation (ASR best-of-six included), the snapshot
+        // arena holds exactly one checkpoint per (workload, warm-up class):
+        // five per workload, the ~10 design jobs notwithstanding.
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.asr_best_of = true;
+        let traces = TraceArena::new();
+        let snapshots = SnapshotArena::new();
+        let comparison = DesignComparison::run_evaluation_forked(
+            &cfg,
+            &ExperimentEngine::with_workers(4),
+            &traces,
+            &snapshots,
+        );
+        assert_eq!(comparison.workloads.len(), 8);
+        assert_eq!(snapshots.len(), 8 * 5, "five warm-up classes per workload");
+        assert_eq!(snapshots.generations(), snapshots.len());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod experiment;
 pub mod report;
 pub mod scenario;
 pub mod simulator;
+pub mod snapshot;
 pub mod tile;
 
 pub use cpi::{CpiBreakdown, CpiComponent, DetailedCpi};
@@ -56,4 +57,5 @@ pub use experiment::{DesignComparison, ExperimentConfig, RunResult, WorkloadResu
 pub use report::TextTable;
 pub use scenario::{ScenarioJob, ScenarioMatrix, ScenarioResult, ScenarioSweep};
 pub use simulator::{CmpSimulator, MeasuredRun};
+pub use snapshot::{SimSnapshot, SnapshotArena, SnapshotKey, WarmupClass};
 pub use tile::{BlockMeta, Tile, TileAccess};

@@ -29,6 +29,7 @@ use crate::design::LlcDesign;
 use crate::engine::ExperimentEngine;
 use crate::experiment::{DesignComparison, ExperimentConfig};
 use crate::simulator::MeasuredRun;
+use crate::snapshot::{SnapshotArena, SnapshotKey};
 use rnuca_types::config::ConfigPoint;
 use rnuca_types::ConfigError;
 use rnuca_workloads::{TraceArena, TraceKey, WorkloadSpec};
@@ -224,6 +225,28 @@ impl ScenarioMatrix {
         engine: &ExperimentEngine,
         arena: &TraceArena,
     ) -> Result<ScenarioSweep, ConfigError> {
+        self.run_forked(engine, arena, &SnapshotArena::new())
+    }
+
+    /// [`Self::run_with_arena`] forking every job's warmed state from an
+    /// explicit `snapshots` arena (exposed so callers can share checkpoints
+    /// across matrices and inspect deduplication).
+    ///
+    /// Jobs group onto warmed checkpoints the way they group onto streams:
+    /// the matrix multiplies designs (and, for R-NUCA, cluster sizes) on
+    /// top of fewer unique `(workload, config-point, warm-up class)` keys,
+    /// so those checkpoints are warmed once each — in parallel — and every
+    /// job is a fork plus its measured window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::jobs`] errors.
+    pub fn run_forked(
+        &self,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+        snapshots: &SnapshotArena,
+    ) -> Result<ScenarioSweep, ConfigError> {
         let jobs = self.jobs()?;
         let mut seen = HashSet::new();
         let unique: Vec<&ScenarioJob> = jobs
@@ -233,12 +256,35 @@ impl ScenarioMatrix {
         engine.run(&unique, |_, job| {
             arena.populate(&job.workload, self.cfg.seed, self.cfg.total_refs())
         });
+        let mut seen_checkpoints = HashSet::new();
+        let unique_checkpoints: Vec<&ScenarioJob> = jobs
+            .iter()
+            .filter(|job| {
+                seen_checkpoints.insert(SnapshotKey::new(
+                    job.design,
+                    &job.workload,
+                    self.cfg.seed,
+                    self.cfg.warmup_refs,
+                ))
+            })
+            .collect();
+        engine.run(&unique_checkpoints, |_, job| {
+            snapshots.populate(
+                arena,
+                job.design,
+                &job.workload,
+                self.cfg.seed,
+                self.cfg.warmup_refs,
+                self.cfg.total_refs(),
+            )
+        });
         let results = engine.run(&jobs, |_, job| {
-            let r = DesignComparison::run_single_with_arena(
+            let r = DesignComparison::run_single_forked(
                 &job.workload,
                 job.design,
                 &self.cfg,
                 arena,
+                snapshots,
             );
             let system = job.workload.system_config();
             ScenarioResult {
@@ -412,6 +458,37 @@ mod tests {
         assert_eq!(sweep.results.len(), 2 * 2 * 2);
         assert_eq!(arena.len(), 2, "one stream per core count");
         assert_eq!(arena.generations(), 2);
+    }
+
+    #[test]
+    fn sweep_jobs_group_onto_unique_checkpoints() {
+        // Three ASR variants x two capacities = 6 jobs, but the variants
+        // share a warm-up class: the snapshot arena must end up holding one
+        // checkpoint per capacity point, each warmed once. Capacities share
+        // a stream (capacity is cost-only), so the trace arena holds one.
+        use crate::design::AsrPolicy;
+        let mut m = tiny_matrix();
+        m.designs = vec![
+            LlcDesign::Asr {
+                policy: AsrPolicy::Static(0.0),
+            },
+            LlcDesign::Asr {
+                policy: AsrPolicy::Static(1.0),
+            },
+            LlcDesign::Asr {
+                policy: AsrPolicy::Adaptive,
+            },
+        ];
+        m.slice_capacities_kb = vec![512, 1024];
+        let traces = TraceArena::new();
+        let snapshots = SnapshotArena::new();
+        let sweep = m
+            .run_forked(&ExperimentEngine::with_workers(4), &traces, &snapshots)
+            .unwrap();
+        assert_eq!(sweep.results.len(), 3 * 2);
+        assert_eq!(traces.len(), 1, "capacity never changes the stream");
+        assert_eq!(snapshots.len(), 2, "one checkpoint per capacity point");
+        assert_eq!(snapshots.generations(), 2, "each warmed exactly once");
     }
 
     #[test]

@@ -25,6 +25,7 @@ use rnuca_types::addr::BlockAddr;
 use rnuca_types::config::{CacheGeometry, SystemConfig};
 use rnuca_types::ids::{CoreId, TileId};
 use rnuca_types::index_map::U64Map;
+use rnuca_types::{Snap, SnapReader};
 use rnuca_workloads::{TraceSource, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +39,16 @@ const RECLASSIFICATION_PER_BLOCK_COST: u64 = 2;
 const ASR_WINDOW: u64 = 10_000;
 /// Initial step size (and sign) of ASR's hill-climbing controller.
 const ASR_INITIAL_STEP: f64 = 0.25;
+/// Allocation probability every ASR variant uses while warming up.
+///
+/// Warm-up state is not part of what the ASR experiments compare — the
+/// paper's warmed checkpoints are shared across configurations — so all six
+/// ASR versions warm with the same mid-point probability. Because
+/// `gen_bool` draws exactly one RNG value regardless of `p`, this makes the
+/// warm-up of every variant bit-identical (decisions *and* RNG trajectory),
+/// which is what lets one [`SimSnapshot`](crate::snapshot::SimSnapshot)
+/// seed the entire best-of-six sweep.
+const ASR_WARMUP_PROBABILITY: f64 = 0.5;
 /// Simulator seed used by [`CmpSimulator::new`] when the caller does not
 /// thread an experiment seed through [`CmpSimulator::with_seed`].
 const DEFAULT_SIM_SEED: u64 = 0xC0FFEE;
@@ -102,10 +113,24 @@ impl MeasuredRun {
 }
 
 /// Internal per-block record of "dirty and sitting in some core's L1".
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct L1DirtyEntry {
     owner: CoreId,
     stamp: u64,
+}
+
+impl Snap for L1DirtyEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.owner.encode(out);
+        self.stamp.encode(out);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Self {
+        L1DirtyEntry {
+            owner: r.get(),
+            stamp: r.get(),
+        }
+    }
 }
 
 /// The simulator for one `(design, workload)` pair.
@@ -979,12 +1004,23 @@ impl CmpSimulator {
     }
 
     /// ASR's allocation decision for clean shared blocks fetched from a remote slice.
+    ///
+    /// During warm-up every variant decides with
+    /// [`ASR_WARMUP_PROBABILITY`] instead of its own probability, so the six
+    /// ASR versions build identical warmed state from one reference stream
+    /// (see the constant's documentation). The variant's own probability —
+    /// static or learned — takes over the moment measurement starts.
     fn asr_allows_allocation(&mut self, class: AccessClass) -> bool {
         match self.design {
             LlcDesign::Asr { .. } => match class {
                 AccessClass::PrivateData => true,
                 AccessClass::Instruction | AccessClass::SharedData => {
-                    self.rng.gen_bool(self.asr_probability.clamp(0.0, 1.0))
+                    let p = if self.measuring {
+                        self.asr_probability.clamp(0.0, 1.0)
+                    } else {
+                        ASR_WARMUP_PROBABILITY
+                    };
+                    self.rng.gen_bool(p)
                 }
             },
             _ => true,
@@ -1006,6 +1042,115 @@ impl CmpSimulator {
         self.asr_prev_window_cycles = self.asr_window_cycles;
         self.asr_window_cycles = 0;
         self.asr_window_accesses = 0;
+    }
+
+    // ----- snapshot support -------------------------------------------------
+
+    /// Serializes every piece of state that warm-up mutates — the tile
+    /// slices and victim buffers, the memory system, the OS page table and
+    /// TLBs, the coherence directory, the dirty-block map, the ideal
+    /// design's aggregate cache, the RNG, the ASR controller, and all
+    /// accounting counters — into a flat byte buffer.
+    ///
+    /// Constructor-owned configuration (the design, latency LUTs, placement
+    /// engine, cached geometry scalars) is deliberately *not* serialized: a
+    /// restore target rebuilds those from its own `(design, spec)` pair via
+    /// [`CmpSimulator::with_seed`]. Excluding the design — and with it the
+    /// ASR allocation probability — is what lets one warmed checkpoint seed
+    /// every ASR variant without clobbering the variant's own policy.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.tiles.encode(&mut out);
+        self.mem.encode(&mut out);
+        self.os.encode(&mut out);
+        self.l2_directory.encode(&mut out);
+        self.l1_dirty.encode(&mut out);
+        self.ideal_cache.encode(&mut out);
+        self.rng.state().encode(&mut out);
+        self.asr_window_cycles.encode(&mut out);
+        self.asr_prev_window_cycles.encode(&mut out);
+        self.asr_window_accesses.encode(&mut out);
+        self.asr_direction.encode(&mut out);
+        self.clock.encode(&mut out);
+        self.sweep_countdown.encode(&mut out);
+        self.measuring.encode(&mut out);
+        self.acc.encode(&mut out);
+        self.measured_accesses.encode(&mut out);
+        self.off_chip_accesses.encode(&mut out);
+        self.l1_to_l1_transfers.encode(&mut out);
+        self.misclassified.encode(&mut out);
+        self.classified.encode(&mut out);
+        self.reclassifications.encode(&mut out);
+        out
+    }
+
+    /// Restores the state captured by [`CmpSimulator::save_state`],
+    /// field-for-field, leaving the receiver bit-identical (in simulation
+    /// behaviour) to the simulator the buffer was saved from.
+    ///
+    /// The receiver must have been built for a [`WorkloadSpec`] with the
+    /// same system configuration the snapshot was taken under — the buffer
+    /// carries the warmed *state*, not the geometry it was shaped by — and
+    /// the whole buffer must be consumed exactly.
+    pub fn load_state(&mut self, bytes: &[u8]) {
+        let mut r = SnapReader::new(bytes);
+        self.tiles = r.get();
+        self.mem = r.get();
+        self.os = r.get();
+        self.l2_directory = r.get();
+        self.l1_dirty = r.get();
+        self.ideal_cache = r.get();
+        self.rng = StdRng::seed_from_u64(r.get());
+        self.asr_window_cycles = r.get();
+        self.asr_prev_window_cycles = r.get();
+        self.asr_window_accesses = r.get();
+        self.asr_direction = r.get();
+        self.clock = r.get();
+        self.sweep_countdown = r.get();
+        self.measuring = r.get();
+        self.acc = r.get();
+        self.measured_accesses = r.get();
+        self.off_chip_accesses = r.get();
+        self.l1_to_l1_transfers = r.get();
+        self.misclassified = r.get();
+        self.classified = r.get();
+        self.reclassifications = r.get();
+        assert_eq!(
+            r.remaining(),
+            0,
+            "snapshot buffer has trailing bytes after restore"
+        );
+    }
+}
+
+impl PartialEq for CmpSimulator {
+    /// Snapshot-state equality: compares exactly the fields
+    /// [`CmpSimulator::save_state`] serializes (including the RNG state), so
+    /// `restore(save(sim)) == sim` is the codec's round-trip property.
+    /// Constructor-owned configuration is excluded on both sides of the
+    /// equation for the same reason it is excluded from the codec.
+    fn eq(&self, other: &Self) -> bool {
+        self.tiles == other.tiles
+            && self.mem == other.mem
+            && self.os == other.os
+            && self.l2_directory == other.l2_directory
+            && self.l1_dirty == other.l1_dirty
+            && self.ideal_cache == other.ideal_cache
+            && self.rng == other.rng
+            && self.asr_window_cycles == other.asr_window_cycles
+            && self.asr_prev_window_cycles == other.asr_prev_window_cycles
+            && self.asr_window_accesses == other.asr_window_accesses
+            && self.asr_direction == other.asr_direction
+            && self.clock == other.clock
+            && self.sweep_countdown == other.sweep_countdown
+            && self.measuring == other.measuring
+            && self.acc == other.acc
+            && self.measured_accesses == other.measured_accesses
+            && self.off_chip_accesses == other.off_chip_accesses
+            && self.l1_to_l1_transfers == other.l1_to_l1_transfers
+            && self.misclassified == other.misclassified
+            && self.classified == other.classified
+            && self.reclassifications == other.reclassifications
     }
 }
 

@@ -1,0 +1,489 @@
+//! The warmed-snapshot arena: warm each simulator state once, fork it
+//! everywhere.
+//!
+//! Profiling the v3 benchmark loop showed warm-up dominating wall-clock:
+//! roughly two thirds of every timed scenario was spent rebuilding the same
+//! warmed caches, page tables, and directory state that an earlier job with
+//! the same `(design, workload, geometry, seed)` had already built. The
+//! ASR best-of-six sweep is the worst case — six variants, one shared warmed
+//! state, warmed six times.
+//!
+//! [`SnapshotArena`] removes that redundancy the same way the
+//! [`TraceArena`] removes trace-generation redundancy: each unique
+//! [`SnapshotKey`] is *generated exactly once* — a canonical simulator is
+//! warmed over the arena-shared reference stream and its complete mutable
+//! state serialized into a compact [`SimSnapshot`] — and every job that
+//! needs the warmed state *forks* a fresh simulator from the checkpoint via
+//! [`SimSnapshot::fork`] instead of re-running warm-up.
+//!
+//! Determinism guarantee: a fork restores every field warm-up mutates —
+//! cache slabs with their occupancy masks and age vectors, victim-buffer
+//! FIFO links, the coherence entry table, the OS page table and per-core
+//! TLB LRU lists, the dirty-block map, the RNG, the clock — bit-for-bit, so
+//! `fork + run_measured` produces the byte-identical [`MeasuredRun`] that
+//! `run_warmup + run_measured` on a fresh simulator produces. The
+//! differential suite in `tests/snapshot_differential.rs` pins this down
+//! for every design, and the golden-result digests would catch any drift.
+//!
+//! Sharing across designs: warm-up state depends on the design's *placement
+//! and allocation* behaviour, not on the parameters measurement sweeps. All
+//! six ASR variants warm identically (see `ASR_WARMUP_PROBABILITY` in the
+//! simulator), so they collapse onto one [`WarmupClass::Asr`] checkpoint —
+//! the best-of-six sweep warms once, not six times.
+//!
+//! [`TraceArena`]: rnuca_workloads::TraceArena
+//! [`MeasuredRun`]: crate::simulator::MeasuredRun
+
+use crate::design::{AsrPolicy, LlcDesign};
+use crate::simulator::CmpSimulator;
+use rnuca_workloads::{TraceArena, WorkloadSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The warm-up equivalence class of a design: two designs share a class
+/// exactly when they build bit-identical state from the same warm-up
+/// stream, and therefore can fork from one checkpoint.
+///
+/// The six ASR variants collapse onto [`WarmupClass::Asr`] because warm-up
+/// allocation decisions use a canonical probability for all of them (and
+/// the adaptive controller never runs outside measurement). R-NUCA keeps
+/// its instruction-cluster size in the class — cluster size changes where
+/// warm-up places instruction blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarmupClass {
+    /// The private design.
+    Private,
+    /// Any ASR variant (static probability or adaptive).
+    Asr,
+    /// The address-interleaved shared design.
+    Shared,
+    /// R-NUCA with the given rotational-cluster size.
+    RNuca {
+        /// Instruction-cluster size of the design being warmed.
+        instr_cluster_size: usize,
+    },
+    /// The ideal (aggregate capacity, local latency) design.
+    Ideal,
+}
+
+impl WarmupClass {
+    /// The warm-up class of `design`.
+    pub fn of(design: LlcDesign) -> Self {
+        match design {
+            LlcDesign::Private => WarmupClass::Private,
+            LlcDesign::Asr { .. } => WarmupClass::Asr,
+            LlcDesign::Shared => WarmupClass::Shared,
+            LlcDesign::RNuca { instr_cluster_size } => WarmupClass::RNuca { instr_cluster_size },
+            LlcDesign::Ideal => WarmupClass::Ideal,
+        }
+    }
+
+    /// The representative design the arena warms for this class. Any design
+    /// in the class forks from the representative's checkpoint.
+    pub fn canonical_design(self) -> LlcDesign {
+        match self {
+            WarmupClass::Private => LlcDesign::Private,
+            WarmupClass::Asr => LlcDesign::Asr {
+                policy: AsrPolicy::Adaptive,
+            },
+            WarmupClass::Shared => LlcDesign::Shared,
+            WarmupClass::RNuca { instr_cluster_size } => LlcDesign::RNuca { instr_cluster_size },
+            WarmupClass::Ideal => LlcDesign::Ideal,
+        }
+    }
+}
+
+/// FNV-1a over the spec's full `Debug` rendering.
+///
+/// Deliberately *stricter* than the trace arena's profile fingerprint: the
+/// trace key may exclude cost-only fields (slice capacity, latencies)
+/// because they cannot change stream contents, but they absolutely change
+/// the *warmed state* the stream builds — a 512 KB slice warms a different
+/// tag array than a 1 MB slice. Fingerprinting every field keeps a
+/// capacity-sweep scenario from ever aliasing another point's checkpoint.
+fn spec_fingerprint(spec: &WorkloadSpec) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for byte in format!("{spec:?}").bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The memoization key of one warmed checkpoint.
+///
+/// Two jobs share a checkpoint exactly when their warmed state is
+/// guaranteed identical: same workload (name plus full-spec fingerprint,
+/// which covers the trace geometry *and* every cost parameter that shapes
+/// cache state), same seed, same [`WarmupClass`], and same warm-up length.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SnapshotKey {
+    workload: String,
+    fingerprint: u64,
+    seed: u64,
+    class: WarmupClass,
+    warmup_refs: usize,
+}
+
+impl SnapshotKey {
+    /// The key of `design`'s warmed state over `spec`'s stream.
+    pub fn new(design: LlcDesign, spec: &WorkloadSpec, seed: u64, warmup_refs: usize) -> Self {
+        SnapshotKey {
+            workload: spec.name.clone(),
+            fingerprint: spec_fingerprint(spec),
+            seed,
+            class: WarmupClass::of(design),
+            warmup_refs,
+        }
+    }
+
+    /// The warm-up class this key belongs to.
+    pub fn class(&self) -> WarmupClass {
+        self.class
+    }
+
+    /// The warm-up length (in L2 references) the checkpoint covers.
+    pub fn warmup_refs(&self) -> usize {
+        self.warmup_refs
+    }
+}
+
+/// One warmed checkpoint: the serialized mutable state of a simulator that
+/// has consumed exactly `warmup_refs` references of its stream.
+///
+/// The buffer holds only state — no configuration — so forking rebuilds the
+/// target design's own latency tables and policy parameters and then
+/// overlays the warmed state (see [`CmpSimulator::save_state`]).
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    class: WarmupClass,
+    seed: u64,
+    warmup_refs: usize,
+    bytes: Vec<u8>,
+}
+
+impl SimSnapshot {
+    /// Warms a canonical simulator for `design`'s class over `spec`'s
+    /// arena-shared stream and captures the checkpoint.
+    ///
+    /// `min_trace_len` sizes the underlying trace slab (pass the *total*
+    /// run length, warm-up plus measurement, so the measured phase that
+    /// follows a fork replays the same slab instead of regrowing it).
+    pub fn capture(
+        traces: &TraceArena,
+        design: LlcDesign,
+        spec: &WorkloadSpec,
+        seed: u64,
+        warmup_refs: usize,
+        min_trace_len: usize,
+    ) -> Self {
+        let class = WarmupClass::of(design);
+        let mut slice = traces.slice(spec, seed, min_trace_len.max(warmup_refs));
+        let mut sim = CmpSimulator::with_seed(class.canonical_design(), spec, seed);
+        sim.run_warmup(&mut slice, warmup_refs);
+        SimSnapshot {
+            class,
+            seed,
+            warmup_refs,
+            bytes: sim.save_state(),
+        }
+    }
+
+    /// Builds a fresh simulator for `design` and restores the checkpoint
+    /// into it — the fork is bit-identical (in simulation behaviour) to a
+    /// simulator that streamed the warm-up itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` is not in the class this checkpoint was warmed
+    /// for: state from a different class would be silently wrong, never
+    /// just slower.
+    pub fn fork(&self, design: LlcDesign, spec: &WorkloadSpec) -> CmpSimulator {
+        assert_eq!(
+            WarmupClass::of(design),
+            self.class,
+            "cannot fork a {design} simulator from a {:?} checkpoint",
+            self.class
+        );
+        let mut sim = CmpSimulator::with_seed(design, spec, self.seed);
+        sim.load_state(&self.bytes);
+        sim
+    }
+
+    /// The warm-up class the checkpoint was captured under.
+    pub fn class(&self) -> WarmupClass {
+        self.class
+    }
+
+    /// References consumed by the checkpoint; a forked simulator's trace
+    /// cursor must skip exactly this prefix before measuring.
+    pub fn warmup_refs(&self) -> usize {
+        self.warmup_refs
+    }
+
+    /// Heap bytes of the serialized state.
+    pub fn packed_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Per-key slot: its own lock, so warming one checkpoint never blocks
+/// requests for a different one.
+#[derive(Debug, Default)]
+struct Cell {
+    snap: Mutex<Option<Arc<SimSnapshot>>>,
+}
+
+/// A thread-safe, memoizing store of warmed checkpoints.
+///
+/// The arena guarantees each unique [`SnapshotKey`] is warmed exactly once,
+/// even under concurrent requests — the same exactly-once discipline as
+/// [`TraceArena`]: the key map hands out per-key cells, and warm-up runs
+/// under the cell's own lock (two workers asking for the *same* checkpoint
+/// serialize on it and the second finds it filled; workers asking for
+/// *different* checkpoints warm in parallel).
+///
+/// Experiment layers pre-populate the unique keys of a job list in parallel
+/// (see [`SnapshotArena::populate`]) and then resolve every job through
+/// [`SnapshotArena::snapshot`], which is a lock-and-clone once the
+/// checkpoint exists.
+#[derive(Debug, Default)]
+pub struct SnapshotArena {
+    cells: Mutex<HashMap<SnapshotKey, Arc<Cell>>>,
+    generations: AtomicUsize,
+}
+
+impl SnapshotArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        SnapshotArena::default()
+    }
+
+    /// Number of distinct checkpoints held.
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("snapshot key map poisoned").len()
+    }
+
+    /// Whether the arena holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many warm-ups actually ran (diagnostics: equals
+    /// [`SnapshotArena::len`] exactly when every request was deduplicated).
+    pub fn generations(&self) -> usize {
+        self.generations.load(Ordering::Relaxed)
+    }
+
+    /// Total heap bytes of all serialized checkpoints currently held.
+    pub fn packed_bytes(&self) -> usize {
+        let cells: Vec<Arc<Cell>> = self
+            .cells
+            .lock()
+            .expect("snapshot key map poisoned")
+            .values()
+            .cloned()
+            .collect();
+        cells
+            .iter()
+            .filter_map(|c| {
+                c.snap
+                    .lock()
+                    .expect("snapshot cell poisoned")
+                    .as_ref()
+                    .map(|s| s.packed_bytes())
+            })
+            .sum()
+    }
+
+    /// The shared checkpoint for `design`'s class over `spec`'s stream —
+    /// warmed on first request, memoized after.
+    ///
+    /// `min_trace_len` sizes the trace slab the warm-up replays; pass the
+    /// total run length so later measured phases reuse the slab (see
+    /// [`SimSnapshot::capture`]).
+    pub fn snapshot(
+        &self,
+        traces: &TraceArena,
+        design: LlcDesign,
+        spec: &WorkloadSpec,
+        seed: u64,
+        warmup_refs: usize,
+        min_trace_len: usize,
+    ) -> Arc<SimSnapshot> {
+        let cell = {
+            let mut cells = self.cells.lock().expect("snapshot key map poisoned");
+            Arc::clone(
+                cells
+                    .entry(SnapshotKey::new(design, spec, seed, warmup_refs))
+                    .or_default(),
+            )
+        };
+        let mut slot = cell.snap.lock().expect("snapshot cell poisoned");
+        if let Some(snap) = slot.as_ref() {
+            return Arc::clone(snap);
+        }
+        let snap = Arc::new(SimSnapshot::capture(
+            traces,
+            design,
+            spec,
+            seed,
+            warmup_refs,
+            min_trace_len,
+        ));
+        self.generations.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// Ensures the checkpoint exists, without returning it — the parallel
+    /// pre-population entry point.
+    pub fn populate(
+        &self,
+        traces: &TraceArena,
+        design: LlcDesign,
+        spec: &WorkloadSpec,
+        seed: u64,
+        warmup_refs: usize,
+        min_trace_len: usize,
+    ) {
+        self.snapshot(traces, design, spec, seed, warmup_refs, min_trace_len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asr_variants_collapse_onto_one_class() {
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(
+                WarmupClass::of(LlcDesign::Asr {
+                    policy: AsrPolicy::Static(p)
+                }),
+                WarmupClass::Asr
+            );
+        }
+        assert_eq!(
+            WarmupClass::of(LlcDesign::Asr {
+                policy: AsrPolicy::Adaptive
+            }),
+            WarmupClass::Asr
+        );
+        assert_eq!(
+            WarmupClass::Asr.canonical_design(),
+            LlcDesign::Asr {
+                policy: AsrPolicy::Adaptive
+            }
+        );
+    }
+
+    #[test]
+    fn rnuca_cluster_size_separates_classes() {
+        let a = WarmupClass::of(LlcDesign::RNuca {
+            instr_cluster_size: 4,
+        });
+        let b = WarmupClass::of(LlcDesign::RNuca {
+            instr_cluster_size: 8,
+        });
+        assert_ne!(a, b);
+        assert_eq!(
+            a.canonical_design(),
+            LlcDesign::RNuca {
+                instr_cluster_size: 4
+            }
+        );
+    }
+
+    #[test]
+    fn every_class_canonical_design_round_trips() {
+        for design in LlcDesign::speedup_set() {
+            let class = WarmupClass::of(design);
+            assert_eq!(WarmupClass::of(class.canonical_design()), class);
+        }
+    }
+
+    #[test]
+    fn keys_separate_what_must_not_share_checkpoints() {
+        let spec = WorkloadSpec::oltp_db2();
+        let base = SnapshotKey::new(LlcDesign::Shared, &spec, 7, 10_000);
+        assert_eq!(
+            base,
+            SnapshotKey::new(LlcDesign::Shared, &WorkloadSpec::oltp_db2(), 7, 10_000)
+        );
+        assert_eq!(base.class(), WarmupClass::Shared);
+        assert_eq!(base.warmup_refs(), 10_000);
+        assert_ne!(
+            base,
+            SnapshotKey::new(LlcDesign::Shared, &spec, 8, 10_000),
+            "seed separates"
+        );
+        assert_ne!(
+            base,
+            SnapshotKey::new(LlcDesign::Shared, &spec, 7, 20_000),
+            "warm-up length separates"
+        );
+        assert_ne!(
+            base,
+            SnapshotKey::new(LlcDesign::Private, &spec, 7, 10_000),
+            "class separates"
+        );
+        assert_ne!(
+            base,
+            SnapshotKey::new(LlcDesign::Shared, &WorkloadSpec::apache(), 7, 10_000),
+            "workload separates"
+        );
+
+        // All six ASR variants share one key.
+        let asr = |policy| SnapshotKey::new(LlcDesign::Asr { policy }, &spec, 7, 10_000);
+        assert_eq!(asr(AsrPolicy::Static(0.0)), asr(AsrPolicy::Adaptive));
+        assert_eq!(asr(AsrPolicy::Static(1.0)), asr(AsrPolicy::Static(0.25)));
+
+        // Cost-only spec fields (which share trace slabs) still separate
+        // snapshots: a different slice capacity warms different state.
+        let point = rnuca_types::config::ConfigPoint {
+            slice_capacity_kb: Some(512),
+            ..Default::default()
+        };
+        let resized = spec.at_config_point(&point).unwrap();
+        assert_ne!(
+            base,
+            SnapshotKey::new(LlcDesign::Shared, &resized, 7, 10_000),
+            "slice capacity separates"
+        );
+    }
+
+    #[test]
+    fn arena_warms_each_unique_key_exactly_once() {
+        let traces = TraceArena::new();
+        let arena = SnapshotArena::new();
+        let spec = WorkloadSpec::em3d();
+        let a = arena.snapshot(&traces, LlcDesign::Shared, &spec, 3, 2_000, 4_000);
+        let b = arena.snapshot(&traces, LlcDesign::Shared, &spec, 3, 2_000, 4_000);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.generations(), 1);
+        assert!(arena.packed_bytes() > 0);
+        assert!(!arena.is_empty());
+
+        // A different class warms separately.
+        arena.populate(&traces, LlcDesign::Private, &spec, 3, 2_000, 4_000);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.generations(), 2);
+        // Both warmed off one shared trace slab.
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces.generations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fork")]
+    fn forking_across_classes_panics() {
+        let traces = TraceArena::new();
+        let spec = WorkloadSpec::em3d();
+        let snap = SimSnapshot::capture(&traces, LlcDesign::Shared, &spec, 1, 500, 500);
+        snap.fork(LlcDesign::Private, &spec);
+    }
+}

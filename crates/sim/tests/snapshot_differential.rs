@@ -1,0 +1,167 @@
+//! Differential fork-fidelity suite: forking a warmed checkpoint must be
+//! indistinguishable — bit for bit — from streaming the warm-up yourself.
+//!
+//! For every LLC design (including a static ASR variant that shares the
+//! adaptive variant's checkpoint) × three geometries (16/32/64 cores) ×
+//! three seeds, the suite runs the same scenario twice: once the classic
+//! way (`run_warmup` then `run_measured` on a fresh simulator) and once the
+//! arena way (fork the memoized [`SnapshotArena`] checkpoint, seat the
+//! replay cursor past the warm-up prefix, then `run_measured`). The two
+//! [`MeasuredRun`]s must be equal *and* render identical `Debug` strings —
+//! `f64`'s `Debug` output is the shortest round-trippable decimal form, so
+//! string equality is bit-identity on every CPI component and rate.
+//!
+//! The suite also pins the arena's sharing discipline: forking twice from
+//! one checkpoint yields identical runs (no state leaks through a fork),
+//! and concurrent requests for one key warm exactly once.
+
+use rnuca_sim::{AsrPolicy, CmpSimulator, LlcDesign, MeasuredRun, SnapshotArena};
+use rnuca_types::config::ConfigPoint;
+use rnuca_workloads::{TraceArena, WorkloadSpec};
+
+const WARMUP: usize = 5_000;
+const MEASURED: usize = 4_000;
+const CORE_COUNTS: [usize; 3] = [16, 32, 64];
+const SEEDS: [u64; 3] = [11, 20_260_727, 0x00C0_FFEE];
+
+/// The five designs plus a static ASR variant, so the matrix covers a fork
+/// whose design differs from the canonical design its checkpoint was
+/// warmed with.
+fn designs() -> Vec<LlcDesign> {
+    vec![
+        LlcDesign::Private,
+        LlcDesign::Asr {
+            policy: AsrPolicy::Adaptive,
+        },
+        LlcDesign::Asr {
+            policy: AsrPolicy::Static(0.25),
+        },
+        LlcDesign::Shared,
+        LlcDesign::rnuca_default(),
+        LlcDesign::Ideal,
+    ]
+}
+
+fn geometries() -> Vec<WorkloadSpec> {
+    CORE_COUNTS
+        .iter()
+        .map(|&cores| {
+            let point = ConfigPoint {
+                num_cores: Some(cores),
+                ..ConfigPoint::default()
+            };
+            WorkloadSpec::oltp_db2()
+                .at_config_point(&point)
+                .expect("standard core counts are valid for the preset")
+        })
+        .collect()
+}
+
+fn warm_then_measure(
+    design: LlcDesign,
+    spec: &WorkloadSpec,
+    seed: u64,
+    traces: &TraceArena,
+) -> MeasuredRun {
+    let mut slice = traces.slice(spec, seed, WARMUP + MEASURED);
+    let mut sim = CmpSimulator::with_seed(design, spec, seed);
+    sim.run_warmup(&mut slice, WARMUP);
+    sim.run_measured(&mut slice, MEASURED)
+}
+
+fn fork_then_measure(
+    design: LlcDesign,
+    spec: &WorkloadSpec,
+    seed: u64,
+    traces: &TraceArena,
+    snapshots: &SnapshotArena,
+) -> MeasuredRun {
+    let snap = snapshots.snapshot(traces, design, spec, seed, WARMUP, WARMUP + MEASURED);
+    let mut sim = snap.fork(design, spec);
+    let mut slice = traces.slice(spec, seed, WARMUP + MEASURED);
+    slice.skip(WARMUP);
+    sim.run_measured(&mut slice, MEASURED)
+}
+
+#[test]
+fn forked_runs_are_byte_identical_to_streamed_runs() {
+    let traces = TraceArena::new();
+    let snapshots = SnapshotArena::new();
+    for spec in geometries() {
+        for seed in SEEDS {
+            for design in designs() {
+                let streamed = warm_then_measure(design, &spec, seed, &traces);
+                let forked = fork_then_measure(design, &spec, seed, &traces, &snapshots);
+                assert_eq!(
+                    streamed,
+                    forked,
+                    "fork diverged from streaming: {design} / {} cores / seed {seed}",
+                    spec.num_cores()
+                );
+                assert_eq!(
+                    format!("{streamed:?}"),
+                    format!("{forked:?}"),
+                    "Debug digests diverged: {design} / {} cores / seed {seed}",
+                    spec.num_cores()
+                );
+            }
+        }
+    }
+    // Six designs, but only five warm-up classes: the two ASR variants
+    // shared one checkpoint per (geometry, seed), and nothing warmed twice.
+    assert_eq!(snapshots.len(), CORE_COUNTS.len() * SEEDS.len() * 5);
+    assert_eq!(snapshots.generations(), snapshots.len());
+}
+
+#[test]
+fn forking_twice_from_one_snapshot_yields_identical_runs() {
+    let traces = TraceArena::new();
+    let snapshots = SnapshotArena::new();
+    let spec = WorkloadSpec::em3d();
+    let design = LlcDesign::rnuca_default();
+    let seed = 7;
+    let first = fork_then_measure(design, &spec, seed, &traces, &snapshots);
+    let second = fork_then_measure(design, &spec, seed, &traces, &snapshots);
+    assert_eq!(
+        format!("{first:?}"),
+        format!("{second:?}"),
+        "a fork must not mutate the checkpoint it came from"
+    );
+    assert_eq!(
+        snapshots.generations(),
+        1,
+        "the second fork reused the checkpoint"
+    );
+}
+
+#[test]
+fn concurrent_requests_warm_each_unique_key_exactly_once() {
+    let traces = TraceArena::new();
+    let snapshots = SnapshotArena::new();
+    let spec = WorkloadSpec::em3d();
+    // Eight threads race on two distinct keys (two warm-up classes).
+    std::thread::scope(|s| {
+        for i in 0..8 {
+            let (traces, snapshots, spec) = (&traces, &snapshots, &spec);
+            s.spawn(move || {
+                let design = if i % 2 == 0 {
+                    LlcDesign::Shared
+                } else {
+                    LlcDesign::Private
+                };
+                snapshots.populate(traces, design, spec, 5, 1_000, 2_000);
+            });
+        }
+    });
+    assert_eq!(snapshots.len(), 2, "two unique keys were requested");
+    assert_eq!(
+        snapshots.generations(),
+        2,
+        "each unique key warmed exactly once despite eight concurrent requests"
+    );
+    assert_eq!(
+        traces.generations(),
+        1,
+        "all warm-ups replayed one shared slab"
+    );
+}

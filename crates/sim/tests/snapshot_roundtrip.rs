@@ -1,0 +1,60 @@
+//! Property test: the snapshot codec is a faithful round trip.
+//!
+//! For random `(design, seed, warm-up length)` triples, serializing a
+//! warmed simulator and restoring the bytes into a freshly constructed one
+//! must reproduce the original field-for-field — [`CmpSimulator`]'s
+//! `PartialEq` compares exactly the mutable state the codec carries (cache
+//! slabs, directory, OS state, RNG, clock, counters), so equality here
+//! means the codec forgot nothing warm-up can touch. Re-serializing the
+//! restored simulator must also reproduce the original byte buffer, which
+//! pins the encoding itself as canonical (no nondeterministic iteration
+//! order leaks into the bytes).
+
+use proptest::prelude::*;
+use rnuca_sim::{AsrPolicy, CmpSimulator, LlcDesign};
+use rnuca_workloads::{TraceArena, WorkloadSpec};
+
+/// The six fork targets the arena serves: the five designs plus a static
+/// ASR variant (same warm-up class as adaptive, different parameters).
+fn design_from(idx: usize) -> LlcDesign {
+    match idx {
+        0 => LlcDesign::Private,
+        1 => LlcDesign::Asr {
+            policy: AsrPolicy::Adaptive,
+        },
+        2 => LlcDesign::Asr {
+            policy: AsrPolicy::Static(0.75),
+        },
+        3 => LlcDesign::Shared,
+        4 => LlcDesign::rnuca_default(),
+        _ => LlcDesign::Ideal,
+    }
+}
+
+proptest! {
+    #[test]
+    fn restore_of_serialize_is_identity(
+        seed in 0u64..1_000_000_000,
+        warmup in 0usize..1_500,
+        design_idx in 0usize..6,
+    ) {
+        let design = design_from(design_idx);
+        let spec = WorkloadSpec::em3d();
+        let traces = TraceArena::new();
+        let mut slice = traces.slice(&spec, seed, warmup.max(1));
+        let mut warmed = CmpSimulator::with_seed(design, &spec, seed);
+        warmed.run_warmup(&mut slice, warmup);
+
+        let bytes = warmed.save_state();
+        let mut restored = CmpSimulator::with_seed(design, &spec, seed);
+        restored.load_state(&bytes);
+        prop_assert!(
+            restored == warmed,
+            "restore(serialize(s)) != s for {design}, seed {seed}, warmup {warmup}"
+        );
+        prop_assert!(
+            restored.save_state() == bytes,
+            "re-serialization is not canonical for {design}, seed {seed}, warmup {warmup}"
+        );
+    }
+}

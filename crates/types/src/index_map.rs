@@ -370,6 +370,35 @@ fn new_slot_vec<V>(slots: usize) -> Vec<Option<(u64, V)>> {
     v
 }
 
+/// Layout-exact equality: two maps compare equal only when their slot
+/// arrays match position-for-position (same probe chains, same tombstone
+/// history resolution), which is the property snapshot restoration
+/// guarantees. Maps holding equal key→value sets in different slot layouts
+/// compare *unequal* — this is deliberate.
+impl<V: PartialEq> PartialEq for U64Map<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.slots == other.slots
+    }
+}
+
+impl<V: Eq> Eq for U64Map<V> {}
+
+/// Verbatim slot-array encoding: the probe-chain layout round-trips, so a
+/// decoded map is bit-identical to the encoded one, not merely equal as a
+/// mapping.
+impl<V: crate::snap::Snap> crate::snap::Snap for U64Map<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.slots.encode(out);
+        self.len.encode(out);
+    }
+
+    fn decode(r: &mut crate::snap::SnapReader<'_>) -> Self {
+        let slots: Vec<Option<(u64, V)>> = r.get();
+        let len: usize = r.get();
+        U64Map { slots, len }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,6 +33,7 @@ pub mod ids;
 pub mod index_map;
 pub mod latency;
 pub mod os_hint;
+pub mod snap;
 
 pub use access::{AccessClass, AccessKind, MemoryAccess};
 pub use addr::{BlockAddr, PageAddr, PhysAddr};
@@ -43,3 +44,4 @@ pub use error::ConfigError;
 pub use ids::{CoreId, MemCtrlId, RotationalId, TileId};
 pub use index_map::U64Map;
 pub use latency::Cycles;
+pub use snap::{Snap, SnapReader};

@@ -255,6 +255,23 @@ impl TraceSlice {
     pub fn slab(&self) -> &Arc<TraceSlab> {
         &self.slab
     }
+
+    /// Advances the cursor past `n` references without decoding them.
+    ///
+    /// Snapshot forks use this to seat a measured-phase cursor directly
+    /// after the warmup prefix a restored checkpoint already consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` references remain.
+    pub fn skip(&mut self, n: usize) {
+        assert!(
+            n <= self.remaining(),
+            "trace slab exhausted: cannot skip {n} of {} remaining references",
+            self.remaining()
+        );
+        self.pos += n;
+    }
 }
 
 impl TraceSource for TraceSlice {

@@ -121,9 +121,19 @@ pub mod rngs {
     ///
     /// Deterministic per seed, 2^64 period, passes BigCrush. Not
     /// cryptographically secure (neither is simulation seeding).
-    #[derive(Debug, Clone)]
+    #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct StdRng {
         state: u64,
+    }
+
+    impl StdRng {
+        /// The generator's current internal state. Feeding it back through
+        /// [`super::SeedableRng::seed_from_u64`] reconstructs a generator
+        /// that continues the exact same stream — the hook simulator
+        /// checkpoints use to save and restore RNG position.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
     }
 
     impl RngCore for StdRng {
