@@ -1,0 +1,116 @@
+//! Microbench: fused multi-design stepping vs independent per-design passes.
+//!
+//! The fused driver's premise is that decoding a trace batch once and
+//! stepping N warmed design instances over it beats walking the stream N
+//! times. This bench times both executions covering the identical work —
+//! five designs over the same batches — plus the single-design batch step
+//! as the floor both amortize towards. Run with
+//! `cargo bench -p rnuca-bench --bench fused_step`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rnuca_sim::{AsrPolicy, CmpSimulator, FusedDriver, LlcDesign};
+use rnuca_workloads::{TraceArena, TraceSource, WorkloadSpec};
+
+/// References per timed pass: a handful of the simulator's 4096-reference
+/// batches, so batch-boundary handling is part of the measurement.
+const PASS: usize = 4 * 4_096;
+/// Warm-up prefix each simulator steps before timing, enough to leave
+/// cold-start behind without slowing setup.
+const WARMUP: usize = 8_192;
+/// Slab length backing the replay cursors.
+const SLAB_LEN: usize = 16 * PASS;
+
+fn perf_designs() -> Vec<LlcDesign> {
+    vec![
+        LlcDesign::Private,
+        LlcDesign::Asr {
+            policy: AsrPolicy::Adaptive,
+        },
+        LlcDesign::Shared,
+        LlcDesign::rnuca_default(),
+        LlcDesign::Ideal,
+    ]
+}
+
+fn warmed_sims(spec: &WorkloadSpec, arena: &TraceArena) -> Vec<CmpSimulator> {
+    perf_designs()
+        .into_iter()
+        .map(|design| {
+            let mut sim = CmpSimulator::with_seed(design, spec, 42);
+            let mut slice = arena.slice(spec, 42, SLAB_LEN);
+            sim.run_warmup(&mut slice, WARMUP);
+            sim
+        })
+        .collect()
+}
+
+fn bench_fused_pass(c: &mut Criterion) {
+    let spec = WorkloadSpec::oltp_db2();
+    let arena = TraceArena::new();
+    arena.populate(&spec, 42, SLAB_LEN);
+    let mut sims = warmed_sims(&spec, &arena);
+    let mut driver = FusedDriver::new();
+    let mut slice = arena.slice(&spec, 42, SLAB_LEN);
+    slice.skip(WARMUP);
+    c.bench_function("fused_step_five_designs", |bench| {
+        bench.iter(|| {
+            if slice.remaining() < PASS {
+                slice = arena.slice(&spec, 42, SLAB_LEN);
+                slice.skip(WARMUP);
+            }
+            driver.drive(&mut sims, &mut slice, black_box(PASS));
+            sims.len()
+        })
+    });
+}
+
+fn bench_independent_passes(c: &mut Criterion) {
+    // The work fusion eliminates: the same five designs stepping the same
+    // references, but each decoding its own walk of the stream.
+    let spec = WorkloadSpec::oltp_db2();
+    let arena = TraceArena::new();
+    arena.populate(&spec, 42, SLAB_LEN);
+    let mut sims = warmed_sims(&spec, &arena);
+    let mut cursor = WARMUP;
+    c.bench_function("independent_step_five_designs", |bench| {
+        bench.iter(|| {
+            if cursor + PASS > SLAB_LEN {
+                cursor = WARMUP;
+            }
+            for sim in &mut sims {
+                let mut slice = arena.slice(&spec, 42, SLAB_LEN);
+                slice.skip(cursor);
+                sim.run_warmup(&mut slice, black_box(PASS));
+            }
+            cursor += PASS;
+            sims.len()
+        })
+    });
+}
+
+fn bench_single_design_batch(c: &mut Criterion) {
+    // The floor: one design stepping one decoded batch via the interface
+    // the fused driver calls per member.
+    let spec = WorkloadSpec::oltp_db2();
+    let arena = TraceArena::new();
+    arena.populate(&spec, 42, SLAB_LEN);
+    let mut sim = CmpSimulator::with_seed(LlcDesign::rnuca_default(), &spec, 42);
+    let mut slice = arena.slice(&spec, 42, SLAB_LEN);
+    sim.run_warmup(&mut slice, WARMUP);
+    let mut buf = Vec::new();
+    slice.fill_into(4_096, &mut buf);
+    c.bench_function("single_design_step_batch", |bench| {
+        bench.iter(|| {
+            sim.step_batch(black_box(&buf));
+            buf.len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fused_pass,
+    bench_independent_passes,
+    bench_single_design_batch
+);
+criterion_main!(benches);

@@ -28,15 +28,17 @@
 //! iteration; a filtered run skips the gate, whose baseline only means
 //! anything for the full scenario list, and writes a report file only when
 //! `--out=` is explicit (a partial report must not clobber the checked-in
-//! `BENCH_perf.json`).
+//! `BENCH_perf.json`). `perf --list` prints the scenario labels and the
+//! fused group each belongs to — the trace streams a run would share —
+//! without simulating anything; it honours `--filter`.
 
 use rnuca_bench::{
     characterize_workload, default_perf_scenarios, evaluate_gate, filter_scenarios,
-    run_perf_scenarios, PerfBaseline,
+    run_perf_scenarios, PerfBaseline, PerfScenario,
 };
 use rnuca_os::rid_assignment;
 use rnuca_sim::report::{fmt3, fmt_pct};
-use rnuca_sim::{DesignComparison, ExperimentConfig, ExperimentEngine, TextTable};
+use rnuca_sim::{group_indices, DesignComparison, ExperimentConfig, ExperimentEngine, TextTable};
 use rnuca_types::access::AccessClass;
 use rnuca_types::config::SystemConfig;
 use rnuca_types::ids::TileId;
@@ -72,6 +74,7 @@ fn main() {
         .iter()
         .find_map(|a| a.strip_prefix("--filter="))
         .map(String::from);
+    let perf_list = args.iter().any(|a| a == "--list");
     let targets: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -128,6 +131,7 @@ fn main() {
             "fig12" => fig12(comparison.as_ref().unwrap()),
             "accuracy" => accuracy(comparison.as_ref().unwrap()),
             "sweep" => sweep(cfg, &engine),
+            "perf" if perf_list => perf_list_only(&cfg, perf_filter.as_deref()),
             "perf" => perf(
                 &cfg,
                 cfg_label,
@@ -185,21 +189,7 @@ fn perf(
     filter: Option<&str>,
 ) {
     heading("perf: timed end-to-end throughput");
-    let scenarios = match filter {
-        Some(f) => {
-            let kept = filter_scenarios(default_perf_scenarios(), f);
-            if kept.is_empty() {
-                exit_with(&format!("--filter={f} matches no perf scenario"));
-            }
-            println!(
-                "filter '{f}': {} of {} scenarios",
-                kept.len(),
-                default_perf_scenarios().len()
-            );
-            kept
-        }
-        None => default_perf_scenarios(),
-    };
+    let scenarios = selected_scenarios(filter);
     let report = run_perf_scenarios(&scenarios, cfg, engine);
     if filter.is_some() && baseline.is_some() {
         println!("note: --filter active, skipping the regression gate (baseline covers the full scenario list)");
@@ -234,10 +224,13 @@ fn perf(
         }
     };
     println!(
-        "{} scenarios, {} refs, {:.0} blocks/sec (hot path), {:.2} jobs/sec, \
+        "{} scenarios in {} fused groups ({} trace passes eliminated), {} refs, \
+         {:.0} blocks/sec (hot path), {:.2} jobs/sec, \
          {:.2}s trace generation (once per unique stream), \
          {:.2}s checkpoint warming (once per unique checkpoint) -> {written}",
         report.totals.scenarios,
+        report.totals.groups,
+        report.totals.passes_eliminated,
         report.totals.refs,
         report.totals.blocks_per_sec,
         report.totals.jobs_per_sec,
@@ -260,6 +253,44 @@ fn perf(
             ));
         }
         println!("perf gate: PASS");
+    }
+}
+
+/// Resolves `--filter` against the default perf scenario list, exiting when
+/// nothing matches (a typo'd filter should fail loudly, not run zero work).
+fn selected_scenarios(filter: Option<&str>) -> Vec<PerfScenario> {
+    match filter {
+        Some(f) => {
+            let kept = filter_scenarios(default_perf_scenarios(), f);
+            if kept.is_empty() {
+                exit_with(&format!("--filter={f} matches no perf scenario"));
+            }
+            println!(
+                "filter '{f}': {} of {} scenarios",
+                kept.len(),
+                default_perf_scenarios().len()
+            );
+            kept
+        }
+        None => default_perf_scenarios(),
+    }
+}
+
+/// `perf --list`: prints the scenario labels grouped by the fused trace
+/// stream each would share, without generating traces or simulating.
+fn perf_list_only(cfg: &ExperimentConfig, filter: Option<&str>) {
+    let scenarios = selected_scenarios(filter);
+    let groups = group_indices(&scenarios, |s| s.group_key(cfg.seed));
+    println!(
+        "{} scenarios in {} fused groups (one trace pass per group):",
+        scenarios.len(),
+        groups.len()
+    );
+    for (key, indices) in &groups {
+        println!("{} ({} scenarios)", key.label(), indices.len());
+        for &i in indices {
+            println!("  {}", scenarios[i].label());
+        }
     }
 }
 

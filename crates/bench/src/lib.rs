@@ -12,7 +12,8 @@ pub mod perf;
 pub use json::JsonValue;
 pub use perf::{
     default_perf_scenarios, evaluate_gate, filter_scenarios, run_perf, run_perf_scenarios,
-    GateOutcome, PerfBaseline, PerfReport, PerfResult, PerfScenario, PerfTotals,
+    run_perf_scenarios_in, GateOutcome, PerfBaseline, PerfGroup, PerfReport, PerfResult,
+    PerfScenario, PerfTotals,
 };
 
 use rnuca_sim::report::{fmt3, fmt_pct};

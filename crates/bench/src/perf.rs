@@ -13,17 +13,19 @@
 //! Two throughput figures matter:
 //!
 //! * **blocks/sec** — simulated L2 block references covered per second of
-//!   *loop time*. Since schema v4 the per-scenario loop is checkpoint fork
-//!   plus measured window: warm-up runs once per unique
-//!   `(workload, cores, warm-up class, seed)` checkpoint in a shared
-//!   [`SnapshotArena`] (reported as the totals' `snapshot_nanos`, like
-//!   trace generation's `tracegen_nanos`), and every scenario restores the
-//!   checkpoint instead of re-driving the warm-up prefix. A scenario's
-//!   `refs` still counts warm-up plus measured references — that is the
-//!   simulation work the scenario *covers* — so blocks/sec measures how
-//!   fast the system delivers warmed results, amortization included. Loop
-//!   time is summed across scenarios, so the aggregate is largely
-//!   independent of the worker-pool size.
+//!   *loop time*. Since schema v5 execution is *fused* (see
+//!   [`rnuca_sim::fused`]): scenarios sharing a reference stream form one
+//!   group that forks every member's warmed checkpoint from a shared
+//!   [`SnapshotArena`] and then steps all members per shared 4096-reference
+//!   batch in a single pass over the stream — the 45-scenario default runs
+//!   9 passes instead of 45 (`passes_eliminated` in the totals). A
+//!   scenario's `refs` still counts warm-up plus measured references — the
+//!   simulation work the scenario *covers* — so the aggregate counts
+//!   references-consumed × designs-stepped, and blocks/sec measures how
+//!   fast the system delivers warmed per-design results, amortization
+//!   included. Loop time is summed across groups (measured passes) and
+//!   scenarios (forks), so the aggregate is largely independent of the
+//!   worker-pool size.
 //! * **jobs/sec** — scenarios completed per second of wall-clock time for
 //!   the whole run. This one *does* scale with workers, construction, and
 //!   generation cost; it is the end-to-end figure.
@@ -35,8 +37,8 @@
 
 use crate::json::{json_string, JsonValue};
 use rnuca_sim::{
-    AsrPolicy, ExperimentConfig, ExperimentEngine, LlcDesign, MeasuredRun, SnapshotArena,
-    SnapshotKey,
+    group_indices, AsrPolicy, ExperimentConfig, ExperimentEngine, FusedDriver, FusedGroupKey,
+    LlcDesign, MeasuredRun, SnapshotArena, SnapshotKey,
 };
 use rnuca_types::config::ConfigPoint;
 use rnuca_workloads::{TraceArena, TraceKey, WorkloadSpec};
@@ -66,20 +68,49 @@ impl PerfScenario {
             self.cores
         )
     }
+
+    /// The fused group this scenario joins under `seed`: scenarios sharing
+    /// a reference stream run as one pass. Derived from the workload spec —
+    /// never from the display label — so label casing cannot affect
+    /// grouping.
+    pub fn group_key(&self, seed: u64) -> FusedGroupKey {
+        FusedGroupKey::of(&self.workload, seed)
+    }
 }
 
 /// Keeps the scenarios whose [`PerfScenario::label`] contains `filter`
 /// (case-insensitive) — the engine behind `figures perf --filter=`, for
-/// fast local perf iteration on a scenario subset.
+/// fast local perf iteration on a scenario subset. The comparison is
+/// ASCII-case-insensitive and allocation-free: labels are matched in place
+/// instead of lowercasing every label (and the needle) per call.
 pub fn filter_scenarios(scenarios: Vec<PerfScenario>, filter: &str) -> Vec<PerfScenario> {
-    let needle = filter.to_lowercase();
     scenarios
         .into_iter()
-        .filter(|s| s.label().to_lowercase().contains(&needle))
+        .filter(|s| contains_ignore_ascii_case(s.label().as_bytes(), filter.as_bytes()))
         .collect()
 }
 
+/// `haystack.contains(needle)` under ASCII case folding, without allocating
+/// lowercased copies. An empty needle matches everything, mirroring
+/// `str::contains`.
+fn contains_ignore_ascii_case(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    haystack
+        .windows(needle.len())
+        .any(|window| window.eq_ignore_ascii_case(needle))
+}
+
 /// The timing and deterministic results of one scenario.
+///
+/// Since schema v5 a scenario's measured window runs inside its fused
+/// group's shared pass, so per-scenario timing is the fork phase alone; the
+/// measured-loop timing lives on the group ([`PerfGroup`]), which a
+/// scenario references by `group` label.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfResult {
     /// Workload name.
@@ -90,7 +121,9 @@ pub struct PerfResult {
     pub design: String,
     /// Core count the scenario ran with.
     pub cores: usize,
-    /// Block references driven through the simulator (warm-up + measured).
+    /// Label of the fused group whose shared pass measured this scenario.
+    pub group: String,
+    /// Block references the scenario covers (warm-up + measured).
     pub refs: u64,
     /// Total CPI of the measured window — a deterministic digest of the
     /// simulation outcome, used to detect result drift across worker counts.
@@ -98,14 +131,29 @@ pub struct PerfResult {
     /// Off-chip rate of the measured window (deterministic).
     pub off_chip_rate: f64,
     /// Wall-clock nanoseconds spent forking the warmed checkpoint: decoding
-    /// the snapshot into a fresh simulator and seating the replay cursor
-    /// past the warm-up prefix.
+    /// the snapshot into this scenario's fresh simulator instance.
     pub fork_nanos: u64,
-    /// Wall-clock nanoseconds spent in the measured loop.
+}
+
+/// The timing of one fused group: the scenarios sharing one reference
+/// stream, measured in a single shared pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfGroup {
+    /// Group label (workload @ cores # seed), shared with
+    /// [`PerfResult::group`].
+    pub label: String,
+    /// Number of member scenarios stepped by the group's pass.
+    pub scenarios: usize,
+    /// Block references the group covers: references-consumed ×
+    /// designs-stepped (each member counts warm-up + measured).
+    pub refs: u64,
+    /// Summed checkpoint-fork time across the group's members.
+    pub fork_nanos: u64,
+    /// Wall-clock nanoseconds of the group's shared measured pass: seating
+    /// the shared replay cursor past the warm-up prefix, then stepping
+    /// every member per batch.
     pub measured_nanos: u64,
-    /// Wall-clock nanoseconds spent in the fork + measured loop.
-    pub loop_nanos: u64,
-    /// Throughput of the simulation loop: `refs / loop_nanos`.
+    /// Group throughput: `refs / (fork_nanos + measured_nanos)`.
     pub blocks_per_sec: f64,
 }
 
@@ -114,7 +162,14 @@ pub struct PerfResult {
 pub struct PerfTotals {
     /// Number of scenarios executed.
     pub scenarios: usize,
-    /// Total block references driven (all scenarios, warm-up + measured).
+    /// Number of fused groups — measured passes over unique streams.
+    pub groups: usize,
+    /// Stream passes fusion removed: `scenarios - groups`. Independent
+    /// execution walks each stream once per scenario; fused execution walks
+    /// it once per group.
+    pub passes_eliminated: usize,
+    /// Total block references covered (all scenarios, warm-up + measured —
+    /// references-consumed × designs-stepped).
     pub refs: u64,
     /// Wall-clock nanoseconds spent materializing the unique reference
     /// streams into the trace arena, before any scenario loop ran. Schema
@@ -131,9 +186,9 @@ pub struct PerfTotals {
     pub snapshot_nanos: u64,
     /// Summed checkpoint-fork time across scenarios, in nanoseconds.
     pub fork_nanos: u64,
-    /// Summed measured-window time across scenarios, in nanoseconds.
+    /// Summed shared-pass time across groups, in nanoseconds.
     pub measured_nanos: u64,
-    /// Summed loop time across scenarios, in nanoseconds.
+    /// Total loop time: `fork_nanos + measured_nanos`.
     pub loop_nanos: u64,
     /// Wall-clock nanoseconds for the whole run (construction and trace
     /// generation included).
@@ -144,13 +199,16 @@ pub struct PerfTotals {
     pub jobs_per_sec: f64,
 }
 
-/// A complete perf run: configuration, per-scenario results, aggregates.
+/// A complete perf run: configuration, per-scenario results, per-group
+/// timing, aggregates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Run lengths and seed shared by every scenario.
     pub cfg: ExperimentConfig,
     /// One result per scenario, in scenario-list order (deterministic).
     pub results: Vec<PerfResult>,
+    /// One entry per fused group, in first-seen scenario order.
+    pub groups: Vec<PerfGroup>,
     /// Aggregates over the whole run.
     pub totals: PerfTotals,
 }
@@ -167,8 +225,12 @@ pub struct PerfReport {
 /// [`SnapshotArena`] instead of re-driving the warm-up prefix, the
 /// one-time warming cost moved into the totals' `snapshot_nanos`, and the
 /// per-scenario `warmup_nanos` became `fork_nanos` (checkpoint restore +
-/// replay-cursor seek).
-pub const PERF_SCHEMA_VERSION: u64 = 4;
+/// replay-cursor seek). Version 5 fused execution: scenarios sharing a
+/// stream are measured in one shared pass, so scenario rows dropped
+/// `measured_nanos`/`loop_nanos`/`blocks_per_sec` in favour of a `group`
+/// label, a top-level `groups` array carries the per-pass timing, and the
+/// totals gained `groups` and `passes_eliminated`.
+pub const PERF_SCHEMA_VERSION: u64 = 5;
 
 /// The representative workloads the perf suite times: a sharing-heavy server
 /// workload (OLTP DB2), a nearest-neighbour scientific code (em3d), and a
@@ -233,30 +295,50 @@ pub fn run_perf(cfg: &ExperimentConfig, engine: &ExperimentEngine) -> PerfReport
     run_perf_scenarios(&default_perf_scenarios(), cfg, engine)
 }
 
-/// Runs `scenarios` on `engine`, timing each scenario's simulation loop.
-///
-/// Before any scenario runs, two shared pools are filled in parallel: the
-/// unique reference streams behind the list (one per `(workload, cores,
-/// seed)` — the 45-scenario default needs only 9) are materialized into a
-/// shared [`TraceArena`] (reported as `tracegen_nanos`), then the unique
-/// warmed checkpoints (one per `(workload, cores, warm-up class, seed)` —
-/// the default needs 45 because no two of the five designs share a warm-up
-/// class, but an ASR sweep would collapse onto one) are warmed into a
-/// shared [`SnapshotArena`] (reported as `snapshot_nanos`). Each scenario
-/// then forks its checkpoint and runs only the measured window, so the
-/// timed loops measure checkpoint restore plus steady-state simulation.
-///
-/// The deterministic fields of the report (scenario identity, reference
-/// counts, CPI digests) are identical for every worker count; only the
-/// timing fields vary run to run.
+/// Runs `scenarios` on `engine` with fresh arenas. See
+/// [`run_perf_scenarios_in`].
 pub fn run_perf_scenarios(
     scenarios: &[PerfScenario],
     cfg: &ExperimentConfig,
     engine: &ExperimentEngine,
 ) -> PerfReport {
+    run_perf_scenarios_in(
+        scenarios,
+        cfg,
+        engine,
+        &TraceArena::new(),
+        &SnapshotArena::new(),
+    )
+}
+
+/// Runs `scenarios` on `engine`, timing each fused group's shared pass and
+/// each scenario's checkpoint fork. The arenas are explicit so callers can
+/// share streams and checkpoints across runs and inspect deduplication.
+///
+/// Before any group runs, two shared pools are filled in parallel: the
+/// unique reference streams behind the list (one per `(workload, cores,
+/// seed)` — the 45-scenario default needs only 9) are materialized into the
+/// [`TraceArena`] (reported as `tracegen_nanos`), then the unique warmed
+/// checkpoints (one per `(workload, cores, warm-up class, seed)` — the
+/// default needs 45 because no two of the five designs share a warm-up
+/// class, but an ASR sweep would collapse onto one) are warmed into the
+/// [`SnapshotArena`] (reported as `snapshot_nanos`). The scenarios then
+/// execute as fused groups — one per unique stream: every member forks its
+/// checkpoint (timed per scenario) and the group steps all members per
+/// shared batch in a single measured pass (timed per group), so each unique
+/// stream is walked once instead of once per scenario.
+///
+/// The deterministic fields of the report (scenario identity, grouping,
+/// reference counts, CPI digests) are identical for every worker count;
+/// only the timing fields vary run to run.
+pub fn run_perf_scenarios_in(
+    scenarios: &[PerfScenario],
+    cfg: &ExperimentConfig,
+    engine: &ExperimentEngine,
+    arena: &TraceArena,
+    snapshots: &SnapshotArena,
+) -> PerfReport {
     let start = Instant::now();
-    let arena = TraceArena::new();
-    let snapshots = SnapshotArena::new();
     let mut seen = HashSet::new();
     let unique: Vec<&PerfScenario> = scenarios
         .iter()
@@ -282,7 +364,7 @@ pub fn run_perf_scenarios(
     let t = Instant::now();
     engine.run(&warm, |_, s| {
         snapshots.populate(
-            &arena,
+            arena,
             s.design,
             &s.workload,
             cfg.seed,
@@ -291,31 +373,56 @@ pub fn run_perf_scenarios(
         )
     });
     let snapshot_nanos = saturating_nanos(t.elapsed().as_nanos());
-    let results = engine.run(scenarios, |_, s| {
-        let (run, fork_nanos, measured_nanos) = time_scenario(s, cfg, &arena, &snapshots);
-        let refs = cfg.total_refs() as u64;
-        let loop_nanos = fork_nanos + measured_nanos;
-        PerfResult {
-            workload: s.workload.name.clone(),
-            letter: s.design.letter(),
-            design: s.design.to_string(),
-            cores: s.cores,
-            refs,
-            total_cpi: run.total_cpi(),
-            off_chip_rate: run.off_chip_rate,
-            fork_nanos,
-            measured_nanos,
-            loop_nanos,
-            blocks_per_sec: per_sec(refs, loop_nanos),
-        }
+    let grouped = group_indices(scenarios, |s| s.group_key(cfg.seed));
+    let group_outcomes = engine.run(&grouped, |_, (_, indices)| {
+        time_group(indices, scenarios, cfg, arena, snapshots)
     });
     let elapsed_nanos = saturating_nanos(start.elapsed().as_nanos());
+
+    let mut results: Vec<Option<PerfResult>> = scenarios.iter().map(|_| None).collect();
+    let mut groups = Vec::with_capacity(grouped.len());
+    for ((key, indices), (members, group_measured)) in grouped.iter().zip(group_outcomes) {
+        let label = key.label();
+        let mut group_refs = 0u64;
+        let mut group_fork = 0u64;
+        for (&i, (run, fork_nanos)) in indices.iter().zip(members) {
+            let s = &scenarios[i];
+            let refs = cfg.total_refs() as u64;
+            group_refs += refs;
+            group_fork += fork_nanos;
+            results[i] = Some(PerfResult {
+                workload: s.workload.name.clone(),
+                letter: s.design.letter(),
+                design: s.design.to_string(),
+                cores: s.cores,
+                group: label.clone(),
+                refs,
+                total_cpi: run.total_cpi(),
+                off_chip_rate: run.off_chip_rate,
+                fork_nanos,
+            });
+        }
+        groups.push(PerfGroup {
+            label,
+            scenarios: indices.len(),
+            refs: group_refs,
+            fork_nanos: group_fork,
+            measured_nanos: group_measured,
+            blocks_per_sec: per_sec(group_refs, group_fork + group_measured),
+        });
+    }
+    let results: Vec<PerfResult> = results
+        .into_iter()
+        .map(|r| r.expect("every scenario belongs to exactly one fused group"))
+        .collect();
     let refs: u64 = results.iter().map(|r| r.refs).sum();
     let fork_nanos: u64 = results.iter().map(|r| r.fork_nanos).sum();
-    let measured_nanos: u64 = results.iter().map(|r| r.measured_nanos).sum();
+    let measured_nanos: u64 = groups.iter().map(|g| g.measured_nanos).sum();
     let loop_nanos = fork_nanos + measured_nanos;
     let totals = PerfTotals {
         scenarios: results.len(),
+        groups: groups.len(),
+        passes_eliminated: results.len() - groups.len(),
         refs,
         tracegen_nanos,
         snapshot_nanos,
@@ -329,40 +436,49 @@ pub fn run_perf_scenarios(
     PerfReport {
         cfg: *cfg,
         results,
+        groups,
         totals,
     }
 }
 
-/// Forks and measures one scenario over its pre-warmed checkpoint and
-/// pre-materialized arena stream, returning the measured run and the
-/// per-phase loop times in nanoseconds (construction, trace generation and
-/// checkpoint warming excluded — the loop is the per-scenario hot path the
-/// regression gate guards). The fork phase is dominated by snapshot
-/// decoding and the replay-cursor seek, the measured phase by steady-state
-/// behaviour; recording both makes phase-specific regressions visible
-/// instead of averaged away.
-fn time_scenario(
-    s: &PerfScenario,
+/// Forks and measures one fused group over its pre-warmed checkpoints and
+/// pre-materialized arena stream (construction, trace generation and
+/// checkpoint warming excluded — the loop is the hot path the regression
+/// gate guards). Returns each member's measured run paired with its fork
+/// time, in `indices` order, plus the group's shared-pass time. The fork
+/// phase is dominated by snapshot decoding, the measured phase by the
+/// replay-cursor seek and steady-state stepping of every member; recording
+/// both makes phase-specific regressions visible instead of averaged away.
+fn time_group(
+    indices: &[usize],
+    scenarios: &[PerfScenario],
     cfg: &ExperimentConfig,
     arena: &TraceArena,
     snapshots: &SnapshotArena,
-) -> (MeasuredRun, u64, u64) {
-    let snap = snapshots.snapshot(
-        arena,
-        s.design,
-        &s.workload,
-        cfg.seed,
-        cfg.warmup_refs,
-        cfg.total_refs(),
-    );
+) -> (Vec<(MeasuredRun, u64)>, u64) {
+    let mut sims = Vec::with_capacity(indices.len());
+    let mut fork_times = Vec::with_capacity(indices.len());
+    for &i in indices {
+        let s = &scenarios[i];
+        let snap = snapshots.snapshot(
+            arena,
+            s.design,
+            &s.workload,
+            cfg.seed,
+            cfg.warmup_refs,
+            cfg.total_refs(),
+        );
+        let t = Instant::now();
+        sims.push(snap.fork(s.design, &s.workload));
+        fork_times.push(saturating_nanos(t.elapsed().as_nanos()));
+    }
+    let first = &scenarios[indices[0]];
     let t = Instant::now();
-    let mut sim = snap.fork(s.design, &s.workload);
-    let mut slice = arena.slice(&s.workload, cfg.seed, cfg.total_refs());
+    let mut slice = arena.slice(&first.workload, cfg.seed, cfg.total_refs());
     slice.skip(cfg.warmup_refs);
-    let fork_nanos = saturating_nanos(t.elapsed().as_nanos());
-    let t = Instant::now();
-    let run = sim.run_measured(&mut slice, cfg.measured_refs);
-    (run, fork_nanos, saturating_nanos(t.elapsed().as_nanos()))
+    let runs = FusedDriver::new().run_measured(&mut sims, &mut slice, cfg.measured_refs);
+    let measured_nanos = saturating_nanos(t.elapsed().as_nanos());
+    (runs.into_iter().zip(fork_times).collect(), measured_nanos)
 }
 
 fn per_sec(count: u64, nanos: u64) -> f64 {
@@ -409,20 +525,17 @@ impl PerfReport {
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"workload\": {}, \"design\": {}, \"letter\": \"{}\", \
-                 \"cores\": {}, \"refs\": {}, \"total_cpi\": {}, \"off_chip_rate\": {}, \
-                 \"fork_nanos\": {}, \"measured_nanos\": {}, \
-                 \"loop_nanos\": {}, \"blocks_per_sec\": {}}}",
+                 \"cores\": {}, \"group\": {}, \"refs\": {}, \"total_cpi\": {}, \
+                 \"off_chip_rate\": {}, \"fork_nanos\": {}}}",
                 json_string(&r.workload),
                 json_string(&r.design),
                 r.letter,
                 r.cores,
+                json_string(&r.group),
                 r.refs,
                 r.total_cpi,
                 r.off_chip_rate,
                 tn(r.fork_nanos),
-                tn(r.measured_nanos),
-                tn(r.loop_nanos),
-                t(r.blocks_per_sec),
             ));
             out.push_str(if i + 1 < self.results.len() {
                 ",\n"
@@ -431,12 +544,34 @@ impl PerfReport {
             });
         }
         out.push_str("  ],\n");
+        out.push_str("  \"groups\": [\n");
+        for (i, g) in self.groups.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"scenarios\": {}, \"refs\": {}, \
+                 \"fork_nanos\": {}, \"measured_nanos\": {}, \"blocks_per_sec\": {}}}",
+                json_string(&g.label),
+                g.scenarios,
+                g.refs,
+                tn(g.fork_nanos),
+                tn(g.measured_nanos),
+                t(g.blocks_per_sec),
+            ));
+            out.push_str(if i + 1 < self.groups.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
         out.push_str(&format!(
-            "  \"totals\": {{\"scenarios\": {}, \"refs\": {}, \
+            "  \"totals\": {{\"scenarios\": {}, \"groups\": {}, \
+             \"passes_eliminated\": {}, \"refs\": {}, \
              \"tracegen_nanos\": {}, \"snapshot_nanos\": {}, \
              \"fork_nanos\": {}, \"measured_nanos\": {}, \"loop_nanos\": {}, \
              \"elapsed_nanos\": {}, \"blocks_per_sec\": {}, \"jobs_per_sec\": {}}}",
             self.totals.scenarios,
+            self.totals.groups,
+            self.totals.passes_eliminated,
             self.totals.refs,
             tn(self.totals.tracegen_nanos),
             tn(self.totals.snapshot_nanos),
@@ -606,9 +741,23 @@ mod tests {
             report.totals.snapshot_nanos > 0,
             "warming the shared checkpoints takes measurable time"
         );
+        // Both tiny scenarios share one stream, so they fuse into one group
+        // whose single pass eliminates one of the two walks.
+        assert_eq!(report.groups.len(), 1);
+        assert_eq!(report.totals.groups, 1);
+        assert_eq!(report.totals.passes_eliminated, 1);
+        let group = &report.groups[0];
+        assert_eq!(group.scenarios, 2);
+        assert_eq!(group.refs, report.totals.refs);
+        assert!(group.measured_nanos > 0, "the pass takes measurable time");
+        assert!(group.blocks_per_sec > 0.0);
         assert_eq!(
-            report.totals.loop_nanos,
-            report.results.iter().map(|r| r.loop_nanos).sum::<u64>()
+            report.totals.fork_nanos,
+            report.results.iter().map(|r| r.fork_nanos).sum::<u64>()
+        );
+        assert_eq!(
+            report.totals.measured_nanos,
+            report.groups.iter().map(|g| g.measured_nanos).sum::<u64>()
         );
         assert_eq!(
             report.totals.loop_nanos,
@@ -616,12 +765,35 @@ mod tests {
         );
         for r in &report.results {
             assert!(r.total_cpi > 0.0);
-            assert!(r.loop_nanos > 0, "the loop must take measurable time");
-            assert_eq!(r.loop_nanos, r.fork_nanos + r.measured_nanos);
-            assert!(r.blocks_per_sec > 0.0);
+            assert_eq!(r.group, group.label, "both scenarios name their group");
         }
         assert!(report.totals.blocks_per_sec > 0.0);
         assert!(report.totals.jobs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn default_perf_run_generates_exactly_nine_streams() {
+        // The fused default run still resolves onto 9 unique streams (3
+        // workloads x 3 core counts), each generated exactly once — and now
+        // each walked in exactly one fused pass: 45 scenarios, 9 groups.
+        let cfg = tiny_cfg();
+        let arena = TraceArena::new();
+        let snapshots = SnapshotArena::new();
+        let report = run_perf_scenarios_in(
+            &default_perf_scenarios(),
+            &cfg,
+            &ExperimentEngine::with_workers(2),
+            &arena,
+            &snapshots,
+        );
+        assert_eq!(report.totals.scenarios, 45);
+        assert_eq!(arena.len(), 9, "one stream per (workload, cores)");
+        assert_eq!(arena.generations(), 9, "each generated exactly once");
+        assert_eq!(report.groups.len(), 9, "one fused pass per stream");
+        assert_eq!(report.totals.passes_eliminated, 45 - 9);
+        for g in &report.groups {
+            assert_eq!(g.scenarios, 5, "all five designs fused per stream");
+        }
     }
 
     #[test]
@@ -646,9 +818,9 @@ mod tests {
         let doc = JsonValue::parse(&report.to_json()).expect("BENCH_perf.json must parse");
         assert_eq!(
             doc.keys(),
-            vec!["schema_version", "config", "scenarios", "totals"]
+            vec!["schema_version", "config", "scenarios", "groups", "totals"]
         );
-        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(4.0));
+        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(5.0));
         let scenarios = doc.get("scenarios").unwrap().as_array().unwrap();
         assert_eq!(scenarios.len(), 2);
         for s in scenarios {
@@ -659,12 +831,25 @@ mod tests {
                     "design",
                     "letter",
                     "cores",
+                    "group",
                     "refs",
                     "total_cpi",
                     "off_chip_rate",
+                    "fork_nanos"
+                ]
+            );
+        }
+        let groups = doc.get("groups").unwrap().as_array().unwrap();
+        assert_eq!(groups.len(), 1);
+        for g in groups {
+            assert_eq!(
+                g.keys(),
+                vec![
+                    "label",
+                    "scenarios",
+                    "refs",
                     "fork_nanos",
                     "measured_nanos",
-                    "loop_nanos",
                     "blocks_per_sec"
                 ]
             );
@@ -672,6 +857,8 @@ mod tests {
         let totals = doc.get("totals").unwrap();
         for key in [
             "scenarios",
+            "groups",
+            "passes_eliminated",
             "refs",
             "tracegen_nanos",
             "snapshot_nanos",
@@ -707,6 +894,53 @@ mod tests {
         assert_eq!(big.len(), 15);
         assert!(big.iter().all(|s| s.cores == 64));
         assert!(filter_scenarios(default_perf_scenarios(), "nope").is_empty());
+    }
+
+    #[test]
+    fn filter_casing_never_affects_selection_or_grouping() {
+        // The allocation-free matcher folds ASCII case exactly like the old
+        // lowercase-both-sides comparison: every casing of a filter selects
+        // the same scenarios...
+        let labels = |filter: &str| -> Vec<String> {
+            filter_scenarios(default_perf_scenarios(), filter)
+                .iter()
+                .map(PerfScenario::label)
+                .collect()
+        };
+        assert_eq!(labels("em3d"), labels("EM3D"));
+        assert_eq!(labels("em3d"), labels("eM3d"));
+        assert_eq!(labels("oltp db2"), labels("OLTP DB2"));
+        assert!(!labels("EM3D").is_empty());
+        // ...and group keys derive from the spec, not from label strings,
+        // so the selected scenarios land in identical fused groups no
+        // matter how the filter (or any display label) is cased.
+        let group_keys = |filter: &str| -> Vec<FusedGroupKey> {
+            filter_scenarios(default_perf_scenarios(), filter)
+                .iter()
+                .map(|s| s.group_key(42))
+                .collect()
+        };
+        assert_eq!(group_keys("em3d"), group_keys("EM3D"));
+        assert_eq!(group_keys("/r/"), group_keys("/R/"));
+    }
+
+    #[test]
+    fn contains_ignore_ascii_case_matches_lowercase_contains() {
+        let cases = [
+            ("OLTP DB2/P/private/16c", "oltp"),
+            ("OLTP DB2/P/private/16c", "DB2/p/PRIV"),
+            ("OLTP DB2/P/private/16c", ""),
+            ("OLTP DB2/P/private/16c", "16C"),
+            ("OLTP DB2/P/private/16c", "xyz"),
+            ("short", "much longer than the haystack"),
+        ];
+        for (haystack, needle) in cases {
+            assert_eq!(
+                contains_ignore_ascii_case(haystack.as_bytes(), needle.as_bytes()),
+                haystack.to_lowercase().contains(&needle.to_lowercase()),
+                "mismatch for ({haystack:?}, {needle:?})"
+            );
+        }
     }
 
     #[test]

@@ -27,9 +27,18 @@
 //! warm-up (the differential suite pins this), so snapshots, like the trace
 //! arena, change wall-clock time only. The big winner is ASR best-of-six:
 //! all six variants fork from one checkpoint, so the sweep warms once.
+//!
+//! Measurement itself is *fused* (see [`crate::fused`]): the designs
+//! comparing one workload form a single fused group that steps every design
+//! instance per shared 4096-reference batch, so a comparison consumes the
+//! stream in one pass instead of one pass per design. The engine's unit of
+//! work is therefore one fused group — per workload, not per design — and
+//! each group still emits the bit-identical per-design [`MeasuredRun`]s the
+//! independent jobs produced.
 
 use crate::design::{AsrPolicy, LlcDesign};
 use crate::engine::ExperimentEngine;
+use crate::fused::run_fused_forked;
 use crate::simulator::{CmpSimulator, MeasuredRun};
 use crate::snapshot::SnapshotArena;
 use rnuca_workloads::{TraceArena, TraceGenerator, WorkloadSpec};
@@ -305,12 +314,15 @@ impl DesignComparison {
     /// [`Self::run_asr_with_arena`] forking every variant from an explicit
     /// `snapshots` arena (exposed so callers can share checkpoints across
     /// experiments and inspect deduplication): the six ASR versions share
-    /// one warm-up class, so the checkpoint is warmed exactly once and each
-    /// variant job is fork + measured window.
+    /// one warm-up class, so the checkpoint is warmed exactly once — and the
+    /// variants then run as one *fused group*, all six stepping each shared
+    /// trace batch in a single pass over the stream. The engine parameter is
+    /// kept for signature continuity; a fused best-of-six is one unit of
+    /// work, so there are no per-variant jobs left to spread over workers.
     pub fn run_asr_forked(
         spec: &WorkloadSpec,
         cfg: &ExperimentConfig,
-        engine: &ExperimentEngine,
+        _engine: &ExperimentEngine,
         traces: &TraceArena,
         snapshots: &SnapshotArena,
     ) -> RunResult {
@@ -324,9 +336,18 @@ impl DesignComparison {
             cfg.warmup_refs,
             cfg.total_refs(),
         );
-        Self::best_asr(engine.run(&variants, |_, design| {
-            Self::run_single_forked(spec, *design, cfg, traces, snapshots)
-        }))
+        let runs = run_fused_forked(spec, &variants, cfg, traces, snapshots);
+        Self::best_asr(
+            variants
+                .iter()
+                .zip(runs)
+                .map(|(&design, run)| RunResult {
+                    workload: spec.name.clone(),
+                    design,
+                    run,
+                })
+                .collect(),
+        )
     }
 
     /// Runs one workload under the P/A/S/R/I design set, serially (the
@@ -390,11 +411,13 @@ impl DesignComparison {
         Self::run_evaluation_forked(cfg, engine, arena, &SnapshotArena::new())
     }
 
-    /// [`Self::run_evaluation_with_arena`] forking every design job from an
+    /// [`Self::run_evaluation_with_arena`] forking every design from an
     /// explicit `snapshots` arena. The unique checkpoints — one per
     /// `(workload, warm-up class)` at one seed, so five per workload with
     /// the six ASR variants collapsed onto one — are pre-warmed in parallel
-    /// on the engine, then every design job is fork + measured window.
+    /// on the engine; each workload's designs then run as one fused group
+    /// (fork every member + a single shared measured pass), so the engine's
+    /// jobs are workloads and each workload's stream is walked once.
     pub fn run_evaluation_forked(
         cfg: &ExperimentConfig,
         engine: &ExperimentEngine,
@@ -434,38 +457,39 @@ impl DesignComparison {
             )
         });
         let asr_variants = Self::asr_variants(cfg);
-        // Per workload: P, the ASR variants, then S, R, I — contiguous, so
-        // assembly below can consume results in job order.
-        let jobs: Vec<(usize, LlcDesign)> = specs
-            .iter()
-            .enumerate()
-            .flat_map(|(i, _)| {
-                std::iter::once((i, LlcDesign::Private))
-                    .chain(asr_variants.iter().map(move |&d| (i, d)))
-                    .chain([
-                        (i, LlcDesign::Shared),
-                        (i, LlcDesign::rnuca_default()),
-                        (i, LlcDesign::Ideal),
-                    ])
-            })
+        // Per workload one *fused group*: P, the ASR variants, then S, R, I
+        // step every shared trace batch in a single pass over the stream.
+        // The group's member order matches the assembly below.
+        let group: Vec<LlcDesign> = std::iter::once(LlcDesign::Private)
+            .chain(asr_variants.iter().copied())
+            .chain([
+                LlcDesign::Shared,
+                LlcDesign::rnuca_default(),
+                LlcDesign::Ideal,
+            ])
             .collect();
-        let results = engine.run(&jobs, |_, &(i, design)| {
-            Self::run_single_forked(&specs[i], design, cfg, arena, snapshots)
+        let fused = engine.run(&specs, |_, spec| {
+            run_fused_forked(spec, &group, cfg, arena, snapshots)
         });
 
-        let mut results = results.into_iter();
         let workloads = specs
             .iter()
-            .map(|spec| {
-                let private = results.next().expect("private job ran");
+            .zip(fused)
+            .map(|(spec, runs)| {
+                let mut results = group.iter().zip(runs).map(|(&design, run)| RunResult {
+                    workload: spec.name.clone(),
+                    design,
+                    run,
+                });
+                let private = results.next().expect("private member ran");
                 let asr = Self::best_asr(
                     (0..asr_variants.len())
-                        .map(|_| results.next().expect("ASR job ran"))
+                        .map(|_| results.next().expect("ASR member ran"))
                         .collect(),
                 );
-                let shared = results.next().expect("shared job ran");
-                let rnuca = results.next().expect("R-NUCA job ran");
-                let ideal = results.next().expect("ideal job ran");
+                let shared = results.next().expect("shared member ran");
+                let rnuca = results.next().expect("R-NUCA member ran");
+                let ideal = results.next().expect("ideal member ran");
                 Self::assemble_workload(spec, private, asr, shared, rnuca, ideal)
             })
             .collect();
@@ -481,13 +505,14 @@ impl DesignComparison {
         Self::run_cluster_sweep_with(cfg, sizes, &ExperimentEngine::new())
     }
 
-    /// [`Self::run_cluster_sweep`] on an explicit engine, one job per
-    /// `(workload, cluster size)` pair. Sizes exceeding a workload's core
-    /// count are skipped. Every size of one workload replays the same
-    /// arena slab — the cluster size never changes the reference stream —
-    /// and forks from its size's own checkpoint (cluster size changes where
-    /// warm-up places instruction blocks, so sizes warm separately; the
-    /// checkpoints are pre-warmed in parallel).
+    /// [`Self::run_cluster_sweep`] on an explicit engine. Sizes exceeding a
+    /// workload's core count are skipped. Every size of one workload replays
+    /// the same arena slab — the cluster size never changes the reference
+    /// stream — so each workload's sizes form one fused group: the sizes
+    /// fork from their own checkpoints (cluster size changes where warm-up
+    /// places instruction blocks, so sizes warm separately; the checkpoints
+    /// are pre-warmed in parallel) and then step every shared batch in a
+    /// single pass over the workload's stream.
     pub fn run_cluster_sweep_with(
         cfg: &ExperimentConfig,
         sizes: &[usize],
@@ -522,25 +547,42 @@ impl DesignComparison {
                 cfg.total_refs(),
             )
         });
-        let results = engine.run(&jobs, |_, &(i, size)| {
-            let r = Self::run_single_forked(
-                &specs[i],
-                LlcDesign::RNuca {
+        let groups: Vec<(usize, Vec<usize>)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                (
+                    i,
+                    sizes
+                        .iter()
+                        .copied()
+                        .filter(|&s| s <= spec.num_cores())
+                        .collect(),
+                )
+            })
+            .filter(|(_, sizes): &(usize, Vec<usize>)| !sizes.is_empty())
+            .collect();
+        let results = engine.run(&groups, |_, (i, group_sizes)| {
+            let designs: Vec<LlcDesign> = group_sizes
+                .iter()
+                .map(|&size| LlcDesign::RNuca {
                     instr_cluster_size: size,
-                },
-                cfg,
-                &arena,
-                &snapshots,
-            );
-            (size, r.run)
+                })
+                .collect();
+            let runs = run_fused_forked(&specs[*i], &designs, cfg, &arena, &snapshots);
+            group_sizes
+                .iter()
+                .zip(runs)
+                .map(|(&size, run)| (size, run))
+                .collect::<Vec<_>>()
         });
 
         let mut rows: Vec<(String, Vec<(usize, MeasuredRun)>)> = specs
             .iter()
             .map(|spec| (spec.name.clone(), Vec::new()))
             .collect();
-        for (&(i, _), row) in jobs.iter().zip(results) {
-            rows[i].1.push(row);
+        for ((i, _), group_rows) in groups.iter().zip(results) {
+            rows[*i].1.extend(group_rows);
         }
         rows
     }

@@ -44,6 +44,7 @@ pub mod cpi;
 pub mod design;
 pub mod engine;
 pub mod experiment;
+pub mod fused;
 pub mod report;
 pub mod scenario;
 pub mod simulator;
@@ -54,6 +55,7 @@ pub use cpi::{CpiBreakdown, CpiComponent, DetailedCpi};
 pub use design::{AsrPolicy, LlcDesign};
 pub use engine::ExperimentEngine;
 pub use experiment::{DesignComparison, ExperimentConfig, RunResult, WorkloadResults};
+pub use fused::{group_indices, run_fused_forked, run_group_forked, FusedDriver, FusedGroupKey};
 pub use report::TextTable;
 pub use scenario::{ScenarioJob, ScenarioMatrix, ScenarioResult, ScenarioSweep};
 pub use simulator::{CmpSimulator, MeasuredRun};

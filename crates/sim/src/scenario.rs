@@ -27,7 +27,8 @@
 
 use crate::design::LlcDesign;
 use crate::engine::ExperimentEngine;
-use crate::experiment::{DesignComparison, ExperimentConfig};
+use crate::experiment::ExperimentConfig;
+use crate::fused::{group_indices, run_group_forked};
 use crate::simulator::MeasuredRun;
 use crate::snapshot::{SnapshotArena, SnapshotKey};
 use rnuca_types::config::ConfigPoint;
@@ -42,7 +43,7 @@ use std::collections::HashSet;
 /// default matrix reduces to a plain design comparison. `cluster_sizes`
 /// applies only to R-NUCA designs (other designs have no cluster parameter).
 /// Sizes exceeding a point's core count are skipped for that point
-/// (mirroring [`DesignComparison::run_cluster_sweep`]); sizes that are not
+/// (mirroring [`crate::DesignComparison::run_cluster_sweep`]); sizes that are not
 /// powers of two are skipped too, rather than panicking inside a worker the
 /// way the rotational map's constructor would.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -235,8 +236,14 @@ impl ScenarioMatrix {
     /// Jobs group onto warmed checkpoints the way they group onto streams:
     /// the matrix multiplies designs (and, for R-NUCA, cluster sizes) on
     /// top of fewer unique `(workload, config-point, warm-up class)` keys,
-    /// so those checkpoints are warmed once each — in parallel — and every
-    /// job is a fork plus its measured window.
+    /// so those checkpoints are warmed once each — in parallel.
+    ///
+    /// Measurement is fused (see [`crate::fused`]): jobs sharing a
+    /// reference stream form one fused group that steps every member per
+    /// shared trace batch, so the engine's unit of work is a group and each
+    /// unique stream is walked once per sweep, not once per job. Results
+    /// scatter back to flattened job order, identical for every worker
+    /// count.
     ///
     /// # Errors
     ///
@@ -278,27 +285,35 @@ impl ScenarioMatrix {
                 self.cfg.total_refs(),
             )
         });
-        let results = engine.run(&jobs, |_, job| {
-            let r = DesignComparison::run_single_forked(
-                &job.workload,
-                job.design,
-                &self.cfg,
-                arena,
-                snapshots,
-            );
-            let system = job.workload.system_config();
-            ScenarioResult {
-                workload: job.workload.name.clone(),
-                design: job.design,
-                point: job.point,
-                cores: system.num_cores,
-                slice_kb: system.l2_slice.geometry.capacity_bytes / 1024,
-                run: r.run,
-            }
+        let groups = group_indices(&jobs, |job| TraceKey::new(&job.workload, self.cfg.seed));
+        let group_runs = engine.run(&groups, |_, (_, indices)| {
+            let members: Vec<(&WorkloadSpec, LlcDesign)> = indices
+                .iter()
+                .map(|&i| (&jobs[i].workload, jobs[i].design))
+                .collect();
+            run_group_forked(&members, &self.cfg, arena, snapshots)
         });
+        let mut results: Vec<Option<ScenarioResult>> = jobs.iter().map(|_| None).collect();
+        for ((_, indices), runs) in groups.iter().zip(group_runs) {
+            for (&i, run) in indices.iter().zip(runs) {
+                let job = &jobs[i];
+                let system = job.workload.system_config();
+                results[i] = Some(ScenarioResult {
+                    workload: job.workload.name.clone(),
+                    design: job.design,
+                    point: job.point,
+                    cores: system.num_cores,
+                    slice_kb: system.l2_slice.geometry.capacity_bytes / 1024,
+                    run,
+                });
+            }
+        }
         Ok(ScenarioSweep {
             cfg: self.cfg,
-            results,
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every job belongs to exactly one fused group"))
+                .collect(),
         })
     }
 }

@@ -63,9 +63,11 @@ const SIM_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 /// design-independent cost mirrors that while still letting stores update
 /// cache and coherence state.
 const STORE_COST: u64 = 14;
-/// References generated per batch by [`CmpSimulator::drive`]: large enough
-/// to amortise the generator call overhead, small enough to stay cache-hot.
-const TRACE_BATCH: usize = 4_096;
+/// References generated per batch by [`CmpSimulator::drive`] (and by the
+/// fused driver, which must mirror these batch boundaries exactly — see
+/// [`crate::fused`]): large enough to amortise the generator call overhead,
+/// small enough to stay cache-hot.
+pub(crate) const TRACE_BATCH: usize = 4_096;
 /// How many references ahead of the current one the batch drivers issue
 /// software prefetches for. The simulator is dominated by random probes
 /// into structures far larger than the host's caches (directory entry
@@ -331,53 +333,64 @@ impl CmpSimulator {
     /// allocation. The access sequence is identical to taking `n` single
     /// references from `src` — the source does not depend on simulator
     /// state.
-    ///
-    /// The `match` on the design happens once per batch, not once per
-    /// access: each arm runs a monomorphized batch loop over the design's
-    /// step function, so the per-reference path is branch-predictable and
-    /// free of the dispatch [`Self::step`] performs.
     fn drive(&mut self, src: &mut impl TraceSource, n: usize) {
         let mut buf = std::mem::take(&mut self.trace_buf);
         let mut remaining = n;
         while remaining > 0 {
             let batch = remaining.min(TRACE_BATCH);
             src.fill_into(batch, &mut buf);
-            match self.design {
-                LlcDesign::Ideal => {
-                    self.run_batch::<false>(&buf, Self::step_ideal, Self::prefetch_ideal)
-                }
-                LlcDesign::Shared => self.run_batch::<false>(
-                    &buf,
-                    |s, a| s.step_single_copy(a, None),
-                    Self::prefetch_single_copy,
-                ),
-                LlcDesign::RNuca { .. } => {
-                    self.run_batch::<false>(&buf, Self::step_rnuca, Self::prefetch_rnuca)
-                }
-                LlcDesign::Private => self.run_batch::<false>(
-                    &buf,
-                    Self::step_private_like,
-                    Self::prefetch_private_like,
-                ),
-                LlcDesign::Asr { .. } => {
-                    if self.asr_adaptive {
-                        self.run_batch::<true>(
-                            &buf,
-                            Self::step_private_like,
-                            Self::prefetch_private_like,
-                        )
-                    } else {
-                        self.run_batch::<false>(
-                            &buf,
-                            Self::step_private_like,
-                            Self::prefetch_private_like,
-                        )
-                    }
-                }
-            }
+            self.step_batch(&buf);
             remaining -= batch;
         }
         self.trace_buf = buf;
+    }
+
+    /// Steps one decoded batch of references through the design's
+    /// monomorphized batch driver — the per-batch stepping interface.
+    ///
+    /// The `match` on the design happens once per batch, not once per
+    /// access: each arm runs a monomorphized batch loop over the design's
+    /// step function, so the per-reference path is branch-predictable and
+    /// free of the dispatch [`Self::step`] performs.
+    ///
+    /// `Self::drive` calls this with batches it fills from its own trace
+    /// source; the [`FusedDriver`](crate::fused::FusedDriver) calls it with
+    /// one shared batch per design instance, so N designs consume a stream
+    /// in a single decode pass. The batch buffer is caller-owned and never
+    /// part of snapshot state, so which buffer the references arrive in is
+    /// architecturally invisible.
+    pub fn step_batch(&mut self, buf: &[MemoryAccess]) {
+        match self.design {
+            LlcDesign::Ideal => {
+                self.run_batch::<false>(buf, Self::step_ideal, Self::prefetch_ideal)
+            }
+            LlcDesign::Shared => self.run_batch::<false>(
+                buf,
+                |s, a| s.step_single_copy(a, None),
+                Self::prefetch_single_copy,
+            ),
+            LlcDesign::RNuca { .. } => {
+                self.run_batch::<false>(buf, Self::step_rnuca, Self::prefetch_rnuca)
+            }
+            LlcDesign::Private => {
+                self.run_batch::<false>(buf, Self::step_private_like, Self::prefetch_private_like)
+            }
+            LlcDesign::Asr { .. } => {
+                if self.asr_adaptive {
+                    self.run_batch::<true>(
+                        buf,
+                        Self::step_private_like,
+                        Self::prefetch_private_like,
+                    )
+                } else {
+                    self.run_batch::<false>(
+                        buf,
+                        Self::step_private_like,
+                        Self::prefetch_private_like,
+                    )
+                }
+            }
+        }
     }
 
     /// Runs one design-specialized batch: the shared per-access prologue,
@@ -492,6 +505,21 @@ impl CmpSimulator {
     /// measured window would fire the adaptive controller early in the next
     /// one, coupling back-to-back windows that should be independent.
     pub fn run_measured(&mut self, src: &mut impl TraceSource, n: usize) -> MeasuredRun {
+        self.begin_measured();
+        self.drive(src, n);
+        self.finish_measured()
+    }
+
+    /// Switches the simulator into a fresh measured window: statistics
+    /// recording on, measurement accumulators zeroed, ASR window accounting
+    /// restarted (see [`Self::run_measured`] for why the *learned* controller
+    /// state carries over while the window bookkeeping does not).
+    ///
+    /// Callers driving the simulator through [`Self::step_batch`] directly —
+    /// the fused driver — bracket the pass with this and
+    /// [`Self::finish_measured`]; [`Self::run_measured`] is exactly that
+    /// bracket around `Self::drive`.
+    pub fn begin_measured(&mut self) {
         self.measuring = true;
         self.asr_window_cycles = 0;
         self.asr_window_accesses = 0;
@@ -504,7 +532,11 @@ impl CmpSimulator {
         self.misclassified = 0;
         self.classified = 0;
         self.reclassifications = 0;
-        self.drive(src, n);
+    }
+
+    /// Closes the measured window opened by [`Self::begin_measured`] and
+    /// returns the window's [`MeasuredRun`].
+    pub fn finish_measured(&self) -> MeasuredRun {
         self.results()
     }
 

@@ -86,6 +86,14 @@ impl TraceKey {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// The trace geometry (core count, block and page sizes) that shaped
+    /// this key's stream contents. Fused-execution groups are keyed by
+    /// shared trace, so this is what a group label reports alongside the
+    /// workload name and seed.
+    pub fn geometry(&self) -> TraceGeometry {
+        self.geometry
+    }
 }
 
 /// FNV-1a over every spec field the generator's output depends on. The
