@@ -21,20 +21,41 @@
 //! 16/32/64 cores) and writes `BENCH_perf.json` (`--out=PATH` overrides the
 //! path). With `--baseline=bench/baseline.json` it also evaluates the
 //! perf-regression gate and exits non-zero when aggregate blocks/sec drops
-//! below the baseline's tolerance — the CI perf gate. Like `sweep`, `perf`
-//! is not part of `all`. `--filter=SUBSTRING` keeps only the scenarios whose
+//! below the baseline's tolerance — the CI perf gate. The gate is evaluated
+//! as a warehouse query (see below): the run's rows are appended to a
+//! results store (`--store=PATH` persists it; otherwise in-memory) and the
+//! verdict is a query over the latest totals row. Like `sweep`, `perf` is
+//! not part of `all`. `--filter=SUBSTRING` keeps only the scenarios whose
 //! `workload/letter/design/Ncores` label contains the substring
 //! (case-insensitive, e.g. `--filter=em3d` or `--filter=/R/`) for fast local
-//! iteration; a filtered run skips the gate, whose baseline only means
-//! anything for the full scenario list, and writes a report file only when
-//! `--out=` is explicit (a partial report must not clobber the checked-in
-//! `BENCH_perf.json`). `perf --list` prints the scenario labels and the
-//! fused group each belongs to — the trace streams a run would share —
-//! without simulating anything; it honours `--filter`.
+//! iteration; a filtered run skips the gate, appends its rows with
+//! `partial=true` (gate queries exclude them), and writes a report file only
+//! when `--out=` is explicit (a partial report must not clobber the
+//! checked-in `BENCH_perf.json`). `perf --list` prints the scenario labels
+//! and the fused group each belongs to — the trace streams a run would share
+//! — without simulating anything; it honours `--filter`.
+//!
+//! The results-warehouse subcommands operate on the store named by
+//! `--store=PATH` (default `bench/warehouse.bin`):
+//!
+//! * `ingest FILE...` loads benchmark artifacts (`BENCH_perf.json` or sweep
+//!   documents) into the store. Appends are idempotent: re-ingesting a file
+//!   the store has seen reports `0 new rows`.
+//! * `query "QUERY"` runs a typed query (`design=R & cores>=32 sort
+//!   off_chip_rate`) and prints an aligned table, or JSON with `--json`.
+//!   Malformed queries print compiler-style spanned diagnostics on stderr
+//!   and exit 2.
+//! * `gate --baseline=bench/baseline.json` evaluates the perf-regression
+//!   gate as a query over the store's latest non-partial totals row for the
+//!   active config (`full`, or `--quick`/`--smoke`), exiting 1 on failure.
+//!
+//! `sweep --store=PATH` additionally appends one row per sweep point to the
+//! store (the JSON on stdout is unchanged; the append summary goes to
+//! stderr).
 
 use rnuca_bench::{
-    characterize_workload, default_perf_scenarios, evaluate_gate, filter_scenarios,
-    run_perf_scenarios, PerfBaseline, PerfScenario,
+    characterize_workload, default_perf_scenarios, evaluate_gate_query, filter_scenarios,
+    records_from_json, run_perf_scenarios, PerfBaseline, PerfScenario,
 };
 use rnuca_os::rid_assignment;
 use rnuca_sim::report::{fmt3, fmt_pct};
@@ -42,7 +63,9 @@ use rnuca_sim::{group_indices, DesignComparison, ExperimentConfig, ExperimentEng
 use rnuca_types::access::AccessClass;
 use rnuca_types::config::SystemConfig;
 use rnuca_types::ids::TileId;
+use rnuca_warehouse::{render_errors, Warehouse};
 use rnuca_workloads::WorkloadSpec;
+use std::path::Path;
 
 const CHARACTERIZATION_REFS: usize = 400_000;
 const CHARACTERIZATION_REFS_QUICK: usize = 60_000;
@@ -75,6 +98,11 @@ fn main() {
         .find_map(|a| a.strip_prefix("--filter="))
         .map(String::from);
     let perf_list = args.iter().any(|a| a == "--list");
+    let store_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--store="))
+        .map(String::from);
+    let json_output = args.iter().any(|a| a == "--json");
     let targets: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -100,6 +128,15 @@ fn main() {
     } else {
         CHARACTERIZATION_REFS
     };
+
+    // The warehouse subcommands consume the remaining positionals (files or
+    // query text) themselves — they are whole invocations, not targets.
+    match targets[0].as_str() {
+        "ingest" => return ingest_cmd(store_path.as_deref(), &targets[1..]),
+        "query" => return query_cmd(store_path.as_deref(), json_output, &targets[1..]),
+        "gate" => return gate_cmd(store_path.as_deref(), baseline_path.as_deref(), cfg_label),
+        _ => {}
+    }
 
     // The evaluation (Figures 7-12) shares one run of every workload x design.
     let needs_eval = targets.iter().any(|t| {
@@ -130,7 +167,7 @@ fn main() {
             "fig11" => fig11(&cfg, &engine),
             "fig12" => fig12(comparison.as_ref().unwrap()),
             "accuracy" => accuracy(comparison.as_ref().unwrap()),
-            "sweep" => sweep(cfg, &engine),
+            "sweep" => sweep(cfg, &engine, store_path.as_deref()),
             "perf" if perf_list => perf_list_only(&cfg, perf_filter.as_deref()),
             "perf" => perf(
                 &cfg,
@@ -139,6 +176,7 @@ fn main() {
                 perf_out.as_deref(),
                 baseline_path.as_deref(),
                 perf_filter.as_deref(),
+                store_path.as_deref(),
             ),
             "all" => {
                 table1();
@@ -163,23 +201,151 @@ fn main() {
 
 /// The scenario-matrix sweep: every workload at 16/32/64 cores, three slice
 /// capacities, under the shared design and R-NUCA at three cluster sizes.
-/// Prints the result matrix as JSON on stdout.
-fn sweep(cfg: ExperimentConfig, engine: &ExperimentEngine) {
+/// Prints the result matrix as JSON on stdout. With `--store=` every sweep
+/// point is also appended to the warehouse (the append summary goes to
+/// stderr, keeping stdout pipeable).
+fn sweep(cfg: ExperimentConfig, engine: &ExperimentEngine, store_path: Option<&str>) {
+    use rnuca_sim::SnapshotArena;
+    use rnuca_workloads::TraceArena;
     let matrix = rnuca_bench::default_sweep_matrix(cfg);
-    let sweep = matrix
-        .run_with(engine)
-        .expect("the default sweep axes are valid");
+    let sweep = match store_path {
+        Some(path) => {
+            let store = open_store(path);
+            let (sweep, summary) = matrix
+                .run_forked_into(engine, &TraceArena::new(), &SnapshotArena::new(), &store)
+                .expect("the default sweep axes are valid");
+            save_store(&store, path);
+            eprintln!(
+                "warehouse: {} new rows ({} deduplicated) -> {path}",
+                summary.added, summary.deduplicated
+            );
+            sweep
+        }
+        None => matrix
+            .run_with(engine)
+            .expect("the default sweep axes are valid"),
+    };
     print!("{}", sweep.to_json());
+}
+
+/// Where the warehouse lives when `--store=` is not given.
+const DEFAULT_STORE: &str = "bench/warehouse.bin";
+
+/// Opens (or initializes) the warehouse at `path`, exiting on corruption —
+/// a damaged store should fail loudly, never be silently recreated.
+fn open_store(path: &str) -> Warehouse {
+    Warehouse::open(Path::new(path))
+        .unwrap_or_else(|e| exit_with(&format!("cannot open store {path}: {e}")))
+}
+
+fn save_store(store: &Warehouse, path: &str) {
+    if let Some(dir) = Path::new(path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| exit_with(&format!("cannot create {}: {e}", dir.display())));
+    }
+    store
+        .save(Path::new(path))
+        .unwrap_or_else(|e| exit_with(&format!("cannot write store {path}: {e}")));
+}
+
+/// `figures ingest FILE...`: loads benchmark artifacts into the warehouse.
+fn ingest_cmd(store_path: Option<&str>, files: &[String]) {
+    if files.is_empty() {
+        exit_with("ingest needs at least one file: figures ingest [--store=PATH] FILE...");
+    }
+    let path = store_path.unwrap_or(DEFAULT_STORE);
+    let store = open_store(path);
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| exit_with(&format!("cannot read {file}: {e}")));
+        let (records, kind) = records_from_json(&text)
+            .unwrap_or_else(|e| exit_with(&format!("cannot ingest {file}: {e}")));
+        let summary = store.append_all(&records);
+        println!(
+            "{file}: {} new rows ({} deduplicated, {})",
+            summary.added,
+            summary.deduplicated,
+            kind.as_str()
+        );
+    }
+    save_store(&store, path);
+    println!("store: {} rows -> {path}", store.len());
+}
+
+/// `figures query "QUERY"`: runs a typed query against the warehouse and
+/// prints a table (or JSON with `--json`). Query errors render with source
+/// spans on stderr and exit 2, like a compiler.
+fn query_cmd(store_path: Option<&str>, json: bool, query_parts: &[String]) {
+    let path = store_path.unwrap_or(DEFAULT_STORE);
+    let store = open_store(path);
+    let query = query_parts.join(" ");
+    match store.query(&query) {
+        Ok(out) => {
+            if json {
+                println!("{}", out.to_json());
+            } else {
+                print!("{}", out.render_table());
+                println!("{} rows", out.rows.len());
+            }
+        }
+        Err(errors) => {
+            eprintln!("{}", render_errors(&errors, &query));
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `figures gate --baseline=PATH [--config via --quick/--smoke]`: the CI
+/// perf-regression gate as a warehouse query, judging the store's latest
+/// non-partial totals row for the active config. Exits 1 on failure.
+fn gate_cmd(store_path: Option<&str>, baseline: Option<&str>, cfg_label: &str) {
+    let baseline_path =
+        baseline.unwrap_or_else(|| exit_with("gate needs --baseline=bench/baseline.json"));
+    let path = store_path.unwrap_or(DEFAULT_STORE);
+    let store = open_store(path);
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| exit_with(&format!("cannot read baseline {baseline_path}: {e}")));
+    let parsed = PerfBaseline::from_json(&text, cfg_label)
+        .unwrap_or_else(|e| exit_with(&format!("cannot parse baseline {baseline_path}: {e}")));
+    let gate = evaluate_gate_query(&store, &parsed, cfg_label)
+        .unwrap_or_else(|e| exit_with(&format!("gate query failed: {e}")));
+    report_gate(&gate, cfg_label);
+}
+
+/// Prints a gate verdict in the format CI greps for, exiting 1 on failure.
+fn report_gate(g: &rnuca_bench::GateOutcome, cfg_label: &str) {
+    println!(
+        "baseline ({cfg_label}): {:+.1}% vs pre-optimization, {:.2}x gate (tolerance {:.0}%)",
+        (g.speedup_vs_pre_optimization - 1.0) * 100.0,
+        g.ratio_vs_gate,
+        g.baseline.tolerance * 100.0,
+    );
+    if !g.pass {
+        exit_with(&format!(
+            "PERF GATE FAILED: throughput is more than {:.0}% below the baseline {:.0}",
+            g.baseline.tolerance * 100.0,
+            g.baseline.gate_blocks_per_sec,
+        ));
+    }
+    println!("perf gate: PASS");
 }
 
 /// The timed throughput suite: writes `BENCH_perf.json` to `out` and, when a
 /// baseline is given, evaluates the regression gate (exiting non-zero on
-/// failure, which is how CI turns a perf regression into a red build). A
-/// `--filter` substring restricts the scenario list for local iteration —
-/// and skips the gate, since the baseline numbers describe the full list.
-/// A filtered run also refuses the default output path: its partial report
-/// would silently clobber the checked-in full-configuration record, so the
-/// report is written only when `--out=` names a destination explicitly.
+/// failure, which is how CI turns a perf regression into a red build). The
+/// run's rows are appended to the results warehouse — persisted when
+/// `--store=` names a path, in-memory otherwise — and the gate verdict is a
+/// query over that store's latest totals row (see
+/// [`rnuca_bench::evaluate_gate_query`]). A `--filter` substring restricts
+/// the scenario list for local iteration — and skips the gate, since the
+/// baseline numbers describe the full list; filtered rows are appended with
+/// `partial=true` so gate queries exclude them. A filtered run also refuses
+/// the default output path: its partial report would silently clobber the
+/// checked-in full-configuration record, so the report is written only when
+/// `--out=` names a destination explicitly.
 fn perf(
     cfg: &ExperimentConfig,
     cfg_label: &str,
@@ -187,10 +353,25 @@ fn perf(
     out: Option<&str>,
     baseline: Option<&str>,
     filter: Option<&str>,
+    store_path: Option<&str>,
 ) {
     heading("perf: timed end-to-end throughput");
     let scenarios = selected_scenarios(filter);
     let report = run_perf_scenarios(&scenarios, cfg, engine);
+    // Every run lands in the warehouse; a filtered run's rows are marked
+    // partial so they can never satisfy (or poison) a gate query.
+    let store = match store_path {
+        Some(path) => open_store(path),
+        None => Warehouse::new(),
+    };
+    let summary = store.append_all(&report.to_records(filter.is_some()));
+    if let Some(path) = store_path {
+        save_store(&store, path);
+        println!(
+            "warehouse: {} new rows ({} deduplicated) -> {path}",
+            summary.added, summary.deduplicated
+        );
+    }
     if filter.is_some() && baseline.is_some() {
         println!("note: --filter active, skipping the regression gate (baseline covers the full scenario list)");
     }
@@ -199,7 +380,8 @@ fn perf(
             .unwrap_or_else(|e| exit_with(&format!("cannot read baseline {path}: {e}")));
         let parsed = PerfBaseline::from_json(&text, cfg_label)
             .unwrap_or_else(|e| exit_with(&format!("cannot parse baseline {path}: {e}")));
-        evaluate_gate(&report, &parsed)
+        evaluate_gate_query(&store, &parsed, cfg_label)
+            .unwrap_or_else(|e| exit_with(&format!("gate query failed: {e}")))
     });
     let json = match &gate {
         Some(g) => report.to_json_with_gate(g),
@@ -238,21 +420,7 @@ fn perf(
         report.totals.snapshot_nanos as f64 / 1e9,
     );
     if let Some(g) = gate {
-        println!(
-            "baseline: {:+.1}% vs pre-optimization, {:.2}x gate (tolerance {:.0}%)",
-            (g.speedup_vs_pre_optimization - 1.0) * 100.0,
-            g.ratio_vs_gate,
-            g.baseline.tolerance * 100.0,
-        );
-        if !g.pass {
-            exit_with(&format!(
-                "PERF GATE FAILED: {:.0} blocks/sec is more than {:.0}% below the baseline {:.0}",
-                report.totals.blocks_per_sec,
-                g.baseline.tolerance * 100.0,
-                g.baseline.gate_blocks_per_sec,
-            ));
-        }
-        println!("perf gate: PASS");
+        report_gate(&g, cfg_label);
     }
 }
 

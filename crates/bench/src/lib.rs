@@ -6,9 +6,11 @@
 
 #![warn(missing_docs)]
 
+pub mod ingest;
 pub mod json;
 pub mod perf;
 
+pub use ingest::{evaluate_gate_query, records_from_json, IngestKind};
 pub use json::JsonValue;
 pub use perf::{
     default_perf_scenarios, evaluate_gate, filter_scenarios, run_perf, run_perf_scenarios,

@@ -634,7 +634,7 @@ impl PerfBaseline {
     ///
     /// Returns a message naming the missing or malformed field.
     pub fn from_json(text: &str, config: &str) -> Result<Self, String> {
-        let doc = JsonValue::parse(text)?;
+        let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
         let section = doc
             .get("configs")
             .and_then(|c| c.get(config))

@@ -97,6 +97,26 @@ impl ExperimentConfig {
             asr_best_of: false,
         }
     }
+
+    /// The preset this configuration's reference counts match: `"full"`,
+    /// `"quick"`, `"smoke"`, or `"custom"` for anything else.
+    ///
+    /// The label keys results in the warehouse (the perf gate queries
+    /// `config=full` rows only) and is inferred the same way when a
+    /// report JSON — which records the reference counts but not the
+    /// preset — is ingested back.
+    pub fn label(&self) -> &'static str {
+        let shape = (self.warmup_refs, self.measured_refs);
+        if shape == (Self::full().warmup_refs, Self::full().measured_refs) {
+            "full"
+        } else if shape == (Self::quick().warmup_refs, Self::quick().measured_refs) {
+            "quick"
+        } else if shape == (Self::smoke().warmup_refs, Self::smoke().measured_refs) {
+            "smoke"
+        } else {
+            "custom"
+        }
+    }
 }
 
 impl Default for ExperimentConfig {

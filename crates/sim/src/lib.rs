@@ -57,7 +57,9 @@ pub use engine::ExperimentEngine;
 pub use experiment::{DesignComparison, ExperimentConfig, RunResult, WorkloadResults};
 pub use fused::{group_indices, run_fused_forked, run_group_forked, FusedDriver, FusedGroupKey};
 pub use report::TextTable;
-pub use scenario::{ScenarioJob, ScenarioMatrix, ScenarioResult, ScenarioSweep};
+pub use scenario::{
+    ScenarioJob, ScenarioMatrix, ScenarioResult, ScenarioSweep, SWEEP_SCHEMA_VERSION,
+};
 pub use simulator::{CmpSimulator, MeasuredRun};
 pub use snapshot::{SimSnapshot, SnapshotArena, SnapshotKey, WarmupClass};
 pub use tile::{BlockMeta, Tile, TileAccess};

@@ -32,10 +32,17 @@ use crate::fused::{group_indices, run_group_forked};
 use crate::simulator::MeasuredRun;
 use crate::snapshot::{SnapshotArena, SnapshotKey};
 use rnuca_types::config::ConfigPoint;
-use rnuca_types::ConfigError;
+use rnuca_types::{ConfigError, Fnv64};
+use rnuca_warehouse::{AppendSummary, RowKind, RunRecord, Warehouse};
 use rnuca_workloads::{TraceArena, TraceKey, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+
+/// Schema version of the sweep rows [`ScenarioMatrix::run_forked_into`]
+/// appends to the warehouse (bumped when their column content changes
+/// meaning, so old and new rows stay distinguishable by the `schema`
+/// column).
+pub const SWEEP_SCHEMA_VERSION: u64 = 1;
 
 /// A declarative sweep over workloads, designs, and configuration axes.
 ///
@@ -316,6 +323,76 @@ impl ScenarioMatrix {
                 .collect(),
         })
     }
+
+    /// [`Self::run_forked`], additionally appending one `kind=sweep` row
+    /// per result into `store`.
+    ///
+    /// Rows are keyed by the full workload-spec fingerprint plus design,
+    /// geometry, seed, and schema, so re-running the same matrix into the
+    /// same store adds zero rows — repeated sweeps accumulate
+    /// incrementally, and only genuinely new points grow the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::jobs`] errors.
+    pub fn run_forked_into(
+        &self,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+        snapshots: &SnapshotArena,
+        store: &Warehouse,
+    ) -> Result<(ScenarioSweep, AppendSummary), ConfigError> {
+        let sweep = self.run_forked(engine, arena, snapshots)?;
+        // jobs() is deterministic and cheap next to the simulation, so
+        // re-flattening recovers each result's full WorkloadSpec (the
+        // sweep itself only keeps the name) for fingerprinting.
+        let jobs = self.jobs()?;
+        let records: Vec<RunRecord> = jobs
+            .iter()
+            .zip(&sweep.results)
+            .map(|(job, result)| sweep_record(&self.cfg, &job.workload, result))
+            .collect();
+        let summary = store.append_all(&records);
+        Ok((sweep, summary))
+    }
+}
+
+/// One sweep result as a warehouse row.
+fn sweep_record(cfg: &ExperimentConfig, spec: &WorkloadSpec, result: &ScenarioResult) -> RunRecord {
+    let mut r = RunRecord::new(
+        RowKind::Sweep,
+        cfg.seed as i64,
+        SWEEP_SCHEMA_VERSION as i64,
+        cfg.label(),
+    );
+    // Same idiom as the snapshot arena's spec fingerprint: FNV-1a over the
+    // full debug rendering, covering every field of the spec.
+    let mut h = Fnv64::new();
+    h.write(format!("{spec:?}").as_bytes());
+    r.fingerprint = h.finish();
+    r.workload = Some(result.workload.clone());
+    r.design = Some(result.design.letter().to_string());
+    r.letter = Some(result.design.letter().to_string());
+    r.cores = Some(result.cores as i64);
+    r.slice_kb = Some(result.slice_kb as i64);
+    r.cluster = match result.design {
+        LlcDesign::RNuca { instr_cluster_size } => Some(instr_cluster_size as i64),
+        _ => None,
+    };
+    r.refs = Some(cfg.total_refs() as i64);
+    let b = &result.run.cpi.breakdown;
+    r.total_cpi = Some(result.run.total_cpi());
+    r.cpi_busy = Some(b.busy);
+    r.cpi_l1_to_l1 = Some(b.l1_to_l1);
+    r.cpi_l2 = Some(b.l2);
+    r.cpi_off_chip = Some(b.off_chip);
+    r.cpi_other = Some(b.other);
+    r.cpi_reclass = Some(b.reclassification);
+    r.off_chip_rate = Some(result.run.off_chip_rate);
+    r.l1_to_l1_rate = Some(result.run.l1_to_l1_rate);
+    r.misclass_rate = Some(result.run.misclassification_rate);
+    r.reclassifications = Some(result.run.reclassifications as i64);
+    r
 }
 
 impl ScenarioSweep {
@@ -538,6 +615,77 @@ mod tests {
         let mut m2 = tiny_matrix();
         m2.designs = vec![LlcDesign::Shared];
         assert!(m2.run().unwrap().to_json().contains("\"cluster\": null"));
+    }
+
+    #[test]
+    fn rerunning_a_sweep_into_the_store_adds_zero_rows() {
+        let mut m = tiny_matrix();
+        m.core_counts = vec![16, 32];
+        let engine = ExperimentEngine::with_workers(2);
+        let store = Warehouse::new();
+
+        let (sweep, first) = m
+            .run_forked_into(&engine, &TraceArena::new(), &SnapshotArena::new(), &store)
+            .unwrap();
+        assert_eq!(first.added, sweep.results.len());
+        assert_eq!(first.deduplicated, 0);
+        assert_eq!(store.len(), sweep.results.len());
+
+        // The same matrix again: fully deduplicated, store unchanged.
+        let bytes = store.to_bytes();
+        let (_, second) = m
+            .run_forked_into(&engine, &TraceArena::new(), &SnapshotArena::new(), &store)
+            .unwrap();
+        assert_eq!(second.added, 0);
+        assert_eq!(second.deduplicated, sweep.results.len());
+        assert_eq!(store.to_bytes(), bytes, "re-ingest must be byte-identical");
+
+        // A new axis point is incremental: only the new rows append.
+        m.core_counts = vec![16, 32, 64];
+        let (bigger, third) = m
+            .run_forked_into(&engine, &TraceArena::new(), &SnapshotArena::new(), &store)
+            .unwrap();
+        assert_eq!(third.added, bigger.results.len() - sweep.results.len());
+        assert_eq!(third.deduplicated, sweep.results.len());
+        assert_eq!(store.len(), bigger.results.len());
+
+        // And the rows are queryable with the documented columns.
+        let out = store
+            .query("kind=sweep & design=R & cores>=32 show workload, cores, total_cpi")
+            .expect("clean query");
+        assert_eq!(out.rows.len(), 2, "R-NUCA rows at 32 and 64 cores");
+    }
+
+    #[test]
+    fn sweep_records_mirror_the_json_fields() {
+        let m = tiny_matrix();
+        let store = Warehouse::new();
+        let (sweep, _) = m
+            .run_forked_into(
+                &ExperimentEngine::with_workers(1),
+                &TraceArena::new(),
+                &SnapshotArena::new(),
+                &store,
+            )
+            .unwrap();
+        let out = store
+            .query("kind=sweep sort design show design, cluster, total_cpi, off_chip_rate, config, schema, partial")
+            .expect("clean query");
+        assert_eq!(out.rows.len(), sweep.results.len());
+        for (row, want) in out.rows.iter().zip(
+            // sort design: R before S.
+            [&sweep.results[1], &sweep.results[0]],
+        ) {
+            assert_eq!(row[0].to_string(), want.design.letter());
+            assert_eq!(row[2].to_string(), want.run.total_cpi().to_string());
+            assert_eq!(row[3].to_string(), want.run.off_chip_rate.to_string());
+            assert_eq!(row[4].to_string(), "custom", "1500/1000 refs is no preset");
+            assert_eq!(row[5].to_string(), SWEEP_SCHEMA_VERSION.to_string());
+            assert_eq!(row[6].to_string(), "false");
+        }
+        // The R-NUCA row records its cluster size; shared rows are null.
+        let clusters: Vec<String> = out.rows.iter().map(|r| r[1].to_string()).collect();
+        assert_eq!(clusters, ["4", "-"]);
     }
 
     #[test]

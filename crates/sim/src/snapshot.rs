@@ -103,13 +103,9 @@ impl WarmupClass {
 /// tag array than a 1 MB slice. Fingerprinting every field keeps a
 /// capacity-sweep scenario from ever aliasing another point's checkpoint.
 fn spec_fingerprint(spec: &WorkloadSpec) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for byte in format!("{spec:?}").bytes() {
-        h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
-    }
-    h
+    let mut h = rnuca_types::Fnv64::new();
+    h.write(format!("{spec:?}").as_bytes());
+    h.finish()
 }
 
 /// The memoization key of one warmed checkpoint.

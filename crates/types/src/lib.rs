@@ -29,6 +29,7 @@ pub mod access;
 pub mod addr;
 pub mod config;
 pub mod error;
+pub mod fingerprint;
 pub mod ids;
 pub mod index_map;
 pub mod latency;
@@ -41,6 +42,7 @@ pub use config::{
     CacheGeometry, ConfigPoint, L2SliceConfig, NocConfig, SystemConfig, TraceGeometry,
 };
 pub use error::ConfigError;
+pub use fingerprint::Fnv64;
 pub use ids::{CoreId, MemCtrlId, RotationalId, TileId};
 pub use index_map::U64Map;
 pub use latency::Cycles;

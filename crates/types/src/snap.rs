@@ -84,7 +84,7 @@ macro_rules! impl_snap_int {
     )*};
 }
 
-impl_snap_int!(u8, u16, u32, u64);
+impl_snap_int!(u8, u16, u32, u64, i64);
 
 impl Snap for usize {
     fn encode(&self, out: &mut Vec<u8>) {

@@ -1,0 +1,226 @@
+//! The typed column catalog the store and the query language share.
+//!
+//! The catalog is static: every warehouse file carries the same fixed set
+//! of columns, and the file header pins a hash of the catalog so a store
+//! written against a different column set is rejected with a clear error
+//! instead of silently misread. Name resolution in the query layer checks
+//! column names and operator/type compatibility against this table.
+
+use rnuca_types::Fnv64;
+
+/// The type of one warehouse column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (stored by bit pattern, round-trips exactly).
+    Float,
+    /// Boolean.
+    Bool,
+    /// Interned UTF-8 string.
+    Str,
+}
+
+impl ColumnType {
+    /// The lowercase name used in error messages and the file header hash.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Int => "int",
+            ColumnType::Float => "float",
+            ColumnType::Bool => "bool",
+            ColumnType::Str => "str",
+        }
+    }
+}
+
+/// One column of the catalog: its query-visible name and its type.
+///
+/// Columns not listed as required may be null on any given row (a totals
+/// row has no `workload`; a scenario row has no `blocks_per_sec`).
+#[derive(Debug, Clone, Copy)]
+pub struct Column {
+    /// The name used in queries and JSON output.
+    pub name: &'static str,
+    /// The column's type.
+    pub ty: ColumnType,
+}
+
+/// The full catalog, in storage order.
+///
+/// `batch` is assigned by the store at append time (monotonic per
+/// [`Warehouse::append_all`](crate::Warehouse::append_all) call); every
+/// other column comes from the [`RunRecord`](crate::RunRecord).
+pub const CATALOG: &[Column] = &[
+    Column {
+        name: "batch",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "kind",
+        ty: ColumnType::Str,
+    },
+    Column {
+        name: "workload",
+        ty: ColumnType::Str,
+    },
+    Column {
+        name: "design",
+        ty: ColumnType::Str,
+    },
+    Column {
+        name: "letter",
+        ty: ColumnType::Str,
+    },
+    Column {
+        name: "cores",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "slice_kb",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "cluster",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "seed",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "schema",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "config",
+        ty: ColumnType::Str,
+    },
+    Column {
+        name: "partial",
+        ty: ColumnType::Bool,
+    },
+    Column {
+        name: "group",
+        ty: ColumnType::Str,
+    },
+    Column {
+        name: "refs",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "scenarios",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "groups",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "total_cpi",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "cpi_busy",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "cpi_l1_to_l1",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "cpi_l2",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "cpi_off_chip",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "cpi_other",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "cpi_reclass",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "off_chip_rate",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "l1_to_l1_rate",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "misclass_rate",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "reclassifications",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "fork_nanos",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "measured_nanos",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "loop_nanos",
+        ty: ColumnType::Int,
+    },
+    Column {
+        name: "blocks_per_sec",
+        ty: ColumnType::Float,
+    },
+    Column {
+        name: "jobs_per_sec",
+        ty: ColumnType::Float,
+    },
+];
+
+/// The position of `name` in [`CATALOG`], if it is a known column.
+pub fn column_index(name: &str) -> Option<usize> {
+    CATALOG.iter().position(|c| c.name == name)
+}
+
+/// A fingerprint of the catalog (names and types, in order).
+///
+/// Written into every store file header; a mismatch on open means the file
+/// was produced by an incompatible catalog revision and must be re-built,
+/// which [`StoreError::CatalogMismatch`](crate::StoreError) reports rather
+/// than decoding columns under the wrong layout.
+pub fn catalog_hash() -> u64 {
+    let mut h = Fnv64::new();
+    for col in CATALOG {
+        h.write_str(col.name);
+        h.write_str(col.ty.name());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for (i, col) in CATALOG.iter().enumerate() {
+            assert_eq!(
+                column_index(col.name),
+                Some(i),
+                "duplicate or shadowed column {}",
+                col.name
+            );
+        }
+        assert_eq!(column_index("no_such_column"), None);
+    }
+
+    #[test]
+    fn hash_is_stable_across_calls() {
+        assert_eq!(catalog_hash(), catalog_hash());
+        assert_ne!(catalog_hash(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Append-only columnar results warehouse with a typed query language.
+//!
+//! Every measured run the simulator produces — perf-gate scenarios, fused
+//! group aggregates, report totals, and sweep points — lands in one
+//! [`Warehouse`]: a versioned, structure-of-arrays columnar store keyed by
+//! `(workload fingerprint, design, geometry, seed, schema version)`. The
+//! key makes appends idempotent: re-ingesting the same report or re-running
+//! the same sweep adds zero new rows, so repeated CI runs and local sweeps
+//! accumulate incrementally instead of duplicating.
+//!
+//! On top of the store sits a small typed query language:
+//!
+//! ```text
+//! design=R & cores>=32 sort off_chip_rate show workload, cores, off_chip_rate top 5
+//! ```
+//!
+//! The pipeline is a lexer, a resilient parser that collects every syntax
+//! error in one pass, name resolution against the typed column
+//! [catalog](catalog::CATALOG) (with did-you-mean suggestions), and an
+//! executor supporting conjunctive filters, comparisons, sorting,
+//! projection, and row limits. Errors carry byte spans into the query text
+//! and render in compiler style.
+//!
+//! The CI perf gate is itself a query over this store: the gate verdict is
+//! "does at least one totals row from the latest batch clear the baseline
+//! threshold", evaluated by the same engine that serves `figures query`.
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod query;
+pub mod record;
+pub mod store;
+
+pub use catalog::{column_index, ColumnType, CATALOG};
+pub use query::{render_errors, QueryError, QueryOutput, Span};
+pub use record::{RowKind, RunRecord};
+pub use store::{AppendSummary, StoreError, Value, Warehouse};

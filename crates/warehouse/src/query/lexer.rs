@@ -1,0 +1,278 @@
+//! Tokenizer for the query language.
+//!
+//! Resilient: an unrecognized character or unterminated string is
+//! reported with its span and skipped, so the parser still sees every
+//! well-formed token after the bad spot and later errors surface in the
+//! same pass.
+
+use super::{QueryError, Span};
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    pub(super) fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq)]
+pub(super) enum TokenKind {
+    /// A bare word: column name, keyword, or unquoted string literal.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A quoted string literal.
+    Str(String),
+    /// A comparison operator.
+    Op(CmpOp),
+    /// `&` — filter conjunction.
+    Amp,
+    /// `,` — projection list separator.
+    Comma,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub(super) struct Token {
+    pub(super) kind: TokenKind,
+    pub(super) span: Span,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`, appending diagnostics for anything unrecognizable.
+pub(super) fn lex(src: &str, errors: &mut Vec<QueryError>) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = src[i..].chars().next().expect("in bounds");
+        match c {
+            c if c.is_whitespace() => {
+                i += c.len_utf8();
+            }
+            '&' => {
+                i += 1;
+                tokens.push(Token {
+                    kind: TokenKind::Amp,
+                    span: Span::new(start, i),
+                });
+            }
+            ',' => {
+                i += 1;
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    span: Span::new(start, i),
+                });
+            }
+            '=' => {
+                i += 1;
+                // Accept `==` as a convenience alias for `=`.
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Op(CmpOp::Eq),
+                    span: Span::new(start, i),
+                });
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    tokens.push(Token {
+                        kind: TokenKind::Op(CmpOp::Ne),
+                        span: Span::new(start, i),
+                    });
+                } else {
+                    i += 1;
+                    errors.push(QueryError::new(
+                        Span::new(start, i),
+                        "stray `!` (the inequality operator is `!=`)",
+                    ));
+                }
+            }
+            '<' => {
+                let op = if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    CmpOp::Le
+                } else {
+                    i += 1;
+                    CmpOp::Lt
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Op(op),
+                    span: Span::new(start, i),
+                });
+            }
+            '>' => {
+                let op = if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    CmpOp::Ge
+                } else {
+                    i += 1;
+                    CmpOp::Gt
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Op(op),
+                    span: Span::new(start, i),
+                });
+            }
+            '\'' | '"' => {
+                let quote = c;
+                i += 1;
+                let body_start = i;
+                while i < bytes.len() && bytes[i] != quote as u8 {
+                    i += 1;
+                }
+                if i == bytes.len() {
+                    errors.push(QueryError::new(
+                        Span::new(start, i),
+                        format!("unterminated string (missing closing `{quote}`)"),
+                    ));
+                } else {
+                    let body = src[body_start..i].to_string();
+                    i += 1;
+                    tokens.push(Token {
+                        kind: TokenKind::Str(body),
+                        span: Span::new(start, i),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                i += 1;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' | b'e' | b'E' => {
+                            is_float = true;
+                            i += 1;
+                            // Exponent sign directly after e/E.
+                            if matches!(bytes.get(i), Some(b'+') | Some(b'-')) {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[start..i];
+                let span = Span::new(start, i);
+                let kind = if is_float {
+                    text.parse::<f64>().map(TokenKind::Float).map_err(|_| ())
+                } else {
+                    text.parse::<i64>().map(TokenKind::Int).map_err(|_| ())
+                };
+                match kind {
+                    Ok(kind) => tokens.push(Token { kind, span }),
+                    Err(_) => errors.push(QueryError::new(
+                        span,
+                        format!("`{text}` is not a valid number"),
+                    )),
+                }
+            }
+            c if is_ident_start(c) => {
+                while i < bytes.len()
+                    && is_ident_continue(src[i..].chars().next().expect("in bounds"))
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            c => {
+                i += c.len_utf8();
+                errors.push(QueryError::new(
+                    Span::new(start, i),
+                    format!("unexpected character `{c}`"),
+                ));
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> (Vec<TokenKind>, Vec<QueryError>) {
+        let mut errors = Vec::new();
+        let tokens = lex(src, &mut errors);
+        (tokens.into_iter().map(|t| t.kind).collect(), errors)
+    }
+
+    #[test]
+    fn tokenizes_the_readme_example() {
+        let (kinds, errors) = kinds("design=R & cores>=32 sort off_chip_rate");
+        assert!(errors.is_empty());
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Ident("design".into()),
+                TokenKind::Op(CmpOp::Eq),
+                TokenKind::Ident("R".into()),
+                TokenKind::Amp,
+                TokenKind::Ident("cores".into()),
+                TokenKind::Op(CmpOp::Ge),
+                TokenKind::Int(32),
+                TokenKind::Ident("sort".into()),
+                TokenKind::Ident("off_chip_rate".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_strings_and_negatives() {
+        let (kinds, errors) = kinds("x=-4 y=2.5e-3 z='hello world' w=\"q\"");
+        assert!(errors.is_empty());
+        assert!(kinds.contains(&TokenKind::Int(-4)));
+        assert!(kinds.contains(&TokenKind::Float(2.5e-3)));
+        assert!(kinds.contains(&TokenKind::Str("hello world".into())));
+        assert!(kinds.contains(&TokenKind::Str("q".into())));
+    }
+
+    #[test]
+    fn bad_input_is_reported_and_skipped() {
+        let (kinds, errors) = kinds("cores ? 32 & design='R");
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].message.contains("unexpected character `?`"));
+        assert!(errors[1].message.contains("unterminated string"));
+        // Tokens around the bad spots still come through.
+        assert!(kinds.contains(&TokenKind::Int(32)));
+        assert!(kinds.contains(&TokenKind::Amp));
+    }
+}

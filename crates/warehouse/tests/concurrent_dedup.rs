@@ -1,0 +1,95 @@
+//! Concurrent appends dedup to exactly one copy per key.
+//!
+//! Mirrors the `TraceArena` exactly-once population tests: many threads
+//! race to append the same record set, and the store must end with each
+//! distinct key stored exactly once, with the per-thread summaries
+//! accounting for every attempt as either added or deduplicated.
+
+use std::sync::Arc;
+use std::thread;
+
+use rnuca_warehouse::{RowKind, RunRecord, Warehouse};
+
+fn scenario(workload: &str, design: &str, cores: i64) -> RunRecord {
+    let mut r = RunRecord::new(RowKind::Scenario, 42, 5, "full");
+    r.workload = Some(workload.to_string());
+    r.design = Some(design.to_string());
+    r.cores = Some(cores);
+    r.total_cpi = Some(1.0 + cores as f64 / 64.0);
+    r
+}
+
+fn distinct_records() -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for workload in ["apache", "oltp", "em3d"] {
+        for design in ["R", "P", "S", "A", "I"] {
+            for cores in [16, 32, 64] {
+                records.push(scenario(workload, design, cores));
+            }
+        }
+    }
+    records
+}
+
+#[test]
+fn racing_appends_store_each_key_exactly_once() {
+    let records = Arc::new(distinct_records());
+    let warehouse = Arc::new(Warehouse::new());
+    let threads = 8;
+
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let records = Arc::clone(&records);
+        let warehouse = Arc::clone(&warehouse);
+        handles.push(thread::spawn(move || {
+            // Each thread appends every record, one call per record and
+            // starting at a different offset so the interleavings vary.
+            let mut added = 0;
+            for i in 0..records.len() {
+                let record = &records[(i + t * 7) % records.len()];
+                if warehouse.append(record) {
+                    added += 1;
+                }
+            }
+            added
+        }));
+    }
+
+    let total_added: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic"))
+        .sum();
+    assert_eq!(
+        total_added,
+        records.len(),
+        "across all threads each key must be added exactly once"
+    );
+    assert_eq!(warehouse.len(), records.len());
+
+    // And the store agrees row-by-row: one scenario row per (workload,
+    // design, cores) combination.
+    let out = warehouse
+        .query("kind=scenario & workload=apache & design=R show cores sort cores")
+        .expect("clean query");
+    let cores: Vec<String> = out.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(cores, ["16", "32", "64"]);
+}
+
+#[test]
+fn racing_batch_appends_also_dedup_exactly_once() {
+    let records = Arc::new(distinct_records());
+    let warehouse = Arc::new(Warehouse::new());
+
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let records = Arc::clone(&records);
+        let warehouse = Arc::clone(&warehouse);
+        handles.push(thread::spawn(move || warehouse.append_all(&records).added));
+    }
+    let total_added: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic"))
+        .sum();
+    assert_eq!(total_added, records.len());
+    assert_eq!(warehouse.len(), records.len());
+}

@@ -100,19 +100,12 @@ impl TraceKey {
 /// fields that only shape simulation cost (busy CPI, reference rate) are
 /// deliberately excluded so cost-model tweaks keep sharing slabs.
 fn profile_fingerprint(spec: &WorkloadSpec) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut mix = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
-        }
-    };
     let sharing = match spec.sharing {
         SharingPattern::Universal => 0,
         SharingPattern::NearestNeighbor { degree } => 1 | ((degree as u64) << 8),
         SharingPattern::ProducerConsumer => 2,
     };
+    let mut h = rnuca_types::Fnv64::new();
     for v in [
         spec.instr_fraction.to_bits(),
         spec.private_fraction.to_bits(),
@@ -126,9 +119,9 @@ fn profile_fingerprint(spec: &WorkloadSpec) -> u64 {
         spec.hot_access_fraction.to_bits(),
         spec.hot_footprint_fraction.to_bits(),
     ] {
-        mix(v);
+        h.write_u64(v);
     }
-    h
+    h.finish()
 }
 
 /// Bits 0-1 of a slab tag: the access class.
