@@ -52,6 +52,20 @@
 //! `sweep --store=PATH` additionally appends one row per sweep point to the
 //! store (the JSON on stdout is unchanged; the append summary goes to
 //! stderr).
+//!
+//! Crash safety: `sweep --journal=PATH` journals every completed job to
+//! `PATH` as the sweep runs, so an interrupted sweep can be continued with
+//! `--resume` — journaled jobs are replayed, the remainder re-runs, and the
+//! result (and any warehouse built from it) is bit-identical to an
+//! uninterrupted run. A leftover journal without `--resume` is an error
+//! (it means an earlier sweep was interrupted); a completed sweep removes
+//! its journal. `journal PATH` prints a journal's header and completion
+//! count without running anything.
+//!
+//! Exit codes: 0 success, 1 generic failure, 2 malformed query (spanned
+//! diagnostics on stderr), 3 corrupt on-disk artifact — a damaged
+//! warehouse or journal renders a compiler-style diagnostic naming the
+//! file and byte offset, and is never silently recreated or repaired.
 
 use rnuca_bench::{
     characterize_workload, default_perf_scenarios, evaluate_gate_query, filter_scenarios,
@@ -59,7 +73,10 @@ use rnuca_bench::{
 };
 use rnuca_os::rid_assignment;
 use rnuca_sim::report::{fmt3, fmt_pct};
-use rnuca_sim::{group_indices, DesignComparison, ExperimentConfig, ExperimentEngine, TextTable};
+use rnuca_sim::{
+    group_indices, DesignComparison, ExperimentConfig, ExperimentEngine, JournalError,
+    JournalReplay, ScenarioMatrix, ScenarioSweep, SnapshotArena, SweepError, TextTable,
+};
 use rnuca_types::access::AccessClass;
 use rnuca_types::config::SystemConfig;
 use rnuca_types::ids::TileId;
@@ -102,6 +119,11 @@ fn main() {
         .iter()
         .find_map(|a| a.strip_prefix("--store="))
         .map(String::from);
+    let journal_arg = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--journal="))
+        .map(String::from);
+    let resume = args.iter().any(|a| a == "--resume");
     let json_output = args.iter().any(|a| a == "--json");
     let targets: Vec<String> = args
         .iter()
@@ -135,7 +157,11 @@ fn main() {
         "ingest" => return ingest_cmd(store_path.as_deref(), &targets[1..]),
         "query" => return query_cmd(store_path.as_deref(), json_output, &targets[1..]),
         "gate" => return gate_cmd(store_path.as_deref(), baseline_path.as_deref(), cfg_label),
+        "journal" => return journal_cmd(&targets[1..]),
         _ => {}
+    }
+    if resume && journal_arg.is_none() {
+        exit_with("--resume needs --journal=PATH (the journal the interrupted sweep wrote)");
     }
 
     // The evaluation (Figures 7-12) shares one run of every workload x design.
@@ -167,7 +193,13 @@ fn main() {
             "fig11" => fig11(&cfg, &engine),
             "fig12" => fig12(comparison.as_ref().unwrap()),
             "accuracy" => accuracy(comparison.as_ref().unwrap()),
-            "sweep" => sweep(cfg, &engine, store_path.as_deref()),
+            "sweep" => sweep(
+                cfg,
+                &engine,
+                store_path.as_deref(),
+                journal_arg.as_deref(),
+                resume,
+            ),
             "perf" if perf_list => perf_list_only(&cfg, perf_filter.as_deref()),
             "perf" => perf(
                 &cfg,
@@ -203,39 +235,170 @@ fn main() {
 /// capacities, under the shared design and R-NUCA at three cluster sizes.
 /// Prints the result matrix as JSON on stdout. With `--store=` every sweep
 /// point is also appended to the warehouse (the append summary goes to
-/// stderr, keeping stdout pipeable).
-fn sweep(cfg: ExperimentConfig, engine: &ExperimentEngine, store_path: Option<&str>) {
-    use rnuca_sim::SnapshotArena;
+/// stderr, keeping stdout pipeable). With `--journal=` every completed job
+/// is logged as the sweep runs, and `--resume` continues an interrupted
+/// sweep from that journal.
+fn sweep(
+    cfg: ExperimentConfig,
+    engine: &ExperimentEngine,
+    store_path: Option<&str>,
+    journal: Option<&str>,
+    resume: bool,
+) {
     use rnuca_workloads::TraceArena;
     let matrix = rnuca_bench::default_sweep_matrix(cfg);
-    let sweep = match store_path {
-        Some(path) => {
-            let store = open_store(path);
-            let (sweep, summary) = matrix
-                .run_forked_into(engine, &TraceArena::new(), &SnapshotArena::new(), &store)
-                .expect("the default sweep axes are valid");
-            save_store(&store, path);
-            eprintln!(
-                "warehouse: {} new rows ({} deduplicated) -> {path}",
-                summary.added, summary.deduplicated
-            );
-            sweep
-        }
-        None => matrix
-            .run_with(engine)
-            .expect("the default sweep axes are valid"),
+    let sweep = match journal {
+        Some(jpath) => run_journaled_sweep(&matrix, engine, jpath, resume, store_path),
+        None => match store_path {
+            Some(path) => {
+                let store = open_store(path);
+                let (sweep, summary) = matrix
+                    .run_forked_into(engine, &TraceArena::new(), &SnapshotArena::new(), &store)
+                    .expect("the default sweep axes are valid");
+                save_store(&store, path);
+                eprintln!(
+                    "warehouse: {} new rows ({} deduplicated) -> {path}",
+                    summary.added, summary.deduplicated
+                );
+                sweep
+            }
+            None => matrix
+                .run_with(engine)
+                .expect("the default sweep axes are valid"),
+        },
     };
     print!("{}", sweep.to_json());
+}
+
+/// The journaled (crash-safe) sweep path: refuses to clobber a leftover
+/// journal without `--resume`, replays journaled jobs on resume, and
+/// removes the journal once the sweep completes.
+fn run_journaled_sweep(
+    matrix: &ScenarioMatrix,
+    engine: &ExperimentEngine,
+    jpath: &str,
+    resume: bool,
+    store_path: Option<&str>,
+) -> ScenarioSweep {
+    use rnuca_workloads::TraceArena;
+    let path = Path::new(jpath);
+    if !resume && path.exists() {
+        exit_with(&format!(
+            "journal {jpath} already exists — an earlier sweep was interrupted; \
+             pass --resume to continue it, or delete the journal to start over"
+        ));
+    }
+    if resume && !path.exists() {
+        exit_with(&format!(
+            "--resume: journal {jpath} does not exist (run once without --resume to create it)"
+        ));
+    }
+    let arena = TraceArena::new();
+    let snapshots = SnapshotArena::new();
+    let (sweep, resumed) = match store_path {
+        Some(spath) => {
+            let store = open_store(spath);
+            let (sweep, summary, resumed) = matrix
+                .run_forked_into_journaled(engine, &arena, &snapshots, path, resume, &store)
+                .unwrap_or_else(|e| exit_sweep_error(jpath, e));
+            save_store(&store, spath);
+            eprintln!(
+                "warehouse: {} new rows ({} deduplicated) -> {spath}",
+                summary.added, summary.deduplicated
+            );
+            (sweep, resumed)
+        }
+        None => matrix
+            .run_forked_journaled(engine, &arena, &snapshots, path, resume)
+            .unwrap_or_else(|e| exit_sweep_error(jpath, e)),
+    };
+    eprintln!(
+        "journal: replayed {} of {} jobs, ran {} -> {jpath}",
+        resumed.replayed,
+        resumed.replayed + resumed.ran,
+        resumed.ran
+    );
+    // A journal only matters while its sweep is incomplete; leaving it
+    // behind would make the next plain run error out for no reason.
+    std::fs::remove_file(path)
+        .unwrap_or_else(|e| exit_with(&format!("cannot remove completed journal {jpath}: {e}")));
+    eprintln!("journal: sweep complete, removed {jpath}");
+    sweep
+}
+
+/// Renders a journaled-sweep failure and exits: corrupt journals get the
+/// byte-offset diagnostic and exit code 3, stale journals an actionable
+/// hint, config errors the generic exit.
+fn exit_sweep_error(jpath: &str, e: SweepError) -> ! {
+    match e {
+        SweepError::Journal(JournalError::Corrupt { offset, message }) => {
+            eprintln!(
+                "error: corrupt sweep journal: {message}\n  --> {jpath} (byte {offset})\n   \
+                 = help: delete the journal and re-run the sweep from the start"
+            );
+            std::process::exit(EXIT_CORRUPT);
+        }
+        SweepError::Journal(e @ JournalError::FingerprintMismatch { .. }) => exit_with(&format!(
+            "{e}\njournal {jpath} belongs to a different sweep (axes, seed, run lengths, or \
+             schema changed); delete it to start this sweep from scratch"
+        )),
+        other => exit_with(&format!("sweep failed: {other}")),
+    }
+}
+
+/// `figures journal PATH...`: prints each journal's identity and completion
+/// count without running anything.
+fn journal_cmd(paths: &[String]) {
+    if paths.is_empty() {
+        exit_with("journal needs at least one path: figures journal PATH...");
+    }
+    for path in paths {
+        match JournalReplay::load(Path::new(path)) {
+            Ok(replay) => println!(
+                "{path}: sweep {:#018x}, {} of {} jobs journaled{}",
+                replay.fingerprint,
+                replay.completed(),
+                replay.jobs,
+                if replay.torn_tail {
+                    " (torn tail dropped)"
+                } else {
+                    ""
+                }
+            ),
+            Err(JournalError::Corrupt { offset, message }) => {
+                eprintln!(
+                    "error: corrupt sweep journal: {message}\n  --> {path} (byte {offset})\n   \
+                     = help: delete the journal and re-run the sweep from the start"
+                );
+                std::process::exit(EXIT_CORRUPT);
+            }
+            Err(e) => exit_with(&format!("cannot read journal {path}: {e}")),
+        }
+    }
 }
 
 /// Where the warehouse lives when `--store=` is not given.
 const DEFAULT_STORE: &str = "bench/warehouse.bin";
 
+/// Exit code for a corrupt on-disk artifact (store or journal) — distinct
+/// from generic failures (1) and malformed queries (2) so CI and scripts
+/// can tell "fix your command" from "your data is damaged".
+const EXIT_CORRUPT: i32 = 3;
+
 /// Opens (or initializes) the warehouse at `path`, exiting on corruption —
-/// a damaged store should fail loudly, never be silently recreated.
+/// a damaged store fails loudly with a diagnostic naming the file and byte
+/// offset (exit code 3); it is never silently recreated.
 fn open_store(path: &str) -> Warehouse {
-    Warehouse::open(Path::new(path))
-        .unwrap_or_else(|e| exit_with(&format!("cannot open store {path}: {e}")))
+    let p = Path::new(path);
+    let bytes = match std::fs::read(p) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Warehouse::new(),
+        Err(e) => exit_with(&format!("cannot read store {path}: {e}")),
+    };
+    Warehouse::from_bytes(&bytes).unwrap_or_else(|e| {
+        eprintln!("{}", e.render(p, &bytes));
+        std::process::exit(EXIT_CORRUPT);
+    })
 }
 
 fn save_store(store: &Warehouse, path: &str) {

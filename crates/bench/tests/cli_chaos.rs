@@ -1,0 +1,149 @@
+//! End-to-end chaos smoke: kill the real `figures` binary at a fail-point-
+//! chosen job boundary mid-sweep, resume it from its journal, and prove the
+//! resumed warehouse is byte-identical to one built by a run that was never
+//! interrupted.
+//!
+//! Ignored by default — each leg runs a full `--smoke` sweep, so CI runs
+//! this in release mode (`cargo test --release -p rnuca-bench --test
+//! cli_chaos -- --include-ignored`, the `chaos-smoke` step). The fail-point
+//! plan travels to the child process via `RNUCA_FAILPOINTS`; the test
+//! profile compiles the binary with live fail points (dev-dependency
+//! feature unification), release-profile `cargo build` does not.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rnuca-chaos-cli-{}-{name}", std::process::id()))
+}
+
+fn figures(args: &[&str], failpoints: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_figures"));
+    cmd.args(args).env_remove("RNUCA_FAILPOINTS");
+    if let Some(plan) = failpoints {
+        cmd.env("RNUCA_FAILPOINTS", plan);
+    }
+    cmd.output().expect("the figures binary runs")
+}
+
+#[test]
+#[ignore = "runs three --smoke sweeps; CI's chaos-smoke step runs it in release"]
+fn killed_and_resumed_sweep_builds_a_byte_identical_warehouse() {
+    let baseline_store = temp("baseline.bin");
+    let baseline_journal = temp("baseline.journal");
+    let chaos_store = temp("chaos.bin");
+    let chaos_journal = temp("chaos.journal");
+    for p in [
+        &baseline_store,
+        &baseline_journal,
+        &chaos_store,
+        &chaos_journal,
+    ] {
+        std::fs::remove_file(p).ok();
+    }
+    let store_arg = |p: &PathBuf| format!("--store={}", p.display());
+    let journal_arg = |p: &PathBuf| format!("--journal={}", p.display());
+
+    // Leg 1 — ground truth: an uninterrupted journaled sweep.
+    let out = figures(
+        &[
+            "--smoke",
+            "--workers=2",
+            "sweep",
+            &store_arg(&baseline_store),
+            &journal_arg(&baseline_journal),
+        ],
+        None,
+    );
+    assert!(
+        out.status.success(),
+        "baseline sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let baseline_bytes = std::fs::read(&baseline_store).expect("baseline store exists");
+    let baseline_json = out.stdout.clone();
+    assert!(
+        !baseline_journal.exists(),
+        "a completed sweep removes its journal"
+    );
+
+    // Leg 2 — chaos: a fixed-seed fail point injects an i/o error into one
+    // of the first 10 journal appends, killing the run at a job boundary.
+    let out = figures(
+        &[
+            "--smoke",
+            "--workers=2",
+            "sweep",
+            &store_arg(&chaos_store),
+            &journal_arg(&chaos_journal),
+        ],
+        Some("sweep::journal::append=io@seed:7%10"),
+    );
+    assert!(
+        !out.status.success(),
+        "the injected fault must kill the sweep"
+    );
+    assert!(chaos_journal.exists(), "the journal survives the crash");
+    assert!(
+        !chaos_store.exists(),
+        "a killed sweep must not have written a store"
+    );
+
+    // The journal subcommand can inspect the wreckage without running.
+    let out = figures(&["journal", chaos_journal.to_str().unwrap()], None);
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("jobs journaled"),
+        "journal inspection: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // A rerun without --resume refuses to clobber the leftover journal.
+    let out = figures(
+        &[
+            "--smoke",
+            "--workers=2",
+            "sweep",
+            &store_arg(&chaos_store),
+            &journal_arg(&chaos_journal),
+        ],
+        None,
+    );
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--resume"),
+        "the error must point at --resume: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Leg 3 — resume: replay the journaled jobs, run the rest, and land the
+    // exact bytes (and the exact JSON) the uninterrupted run produced.
+    let out = figures(
+        &[
+            "--smoke",
+            "--workers=2",
+            "sweep",
+            "--resume",
+            &store_arg(&chaos_store),
+            &journal_arg(&chaos_journal),
+        ],
+        None,
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "resume failed: {stderr}");
+    assert!(stderr.contains("replayed"), "resume summary: {stderr}");
+    assert_eq!(out.stdout, baseline_json, "resumed sweep JSON differs");
+    let resumed_bytes = std::fs::read(&chaos_store).expect("resumed store exists");
+    assert_eq!(
+        resumed_bytes, baseline_bytes,
+        "resumed warehouse is not byte-identical to the uninterrupted run"
+    );
+    assert!(
+        !chaos_journal.exists(),
+        "a completed resume removes its journal"
+    );
+
+    for p in [&baseline_store, &chaos_store] {
+        std::fs::remove_file(p).ok();
+    }
+}

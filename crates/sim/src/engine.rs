@@ -10,14 +10,81 @@
 //! threading suffered from) and write each result into the slot indexed by
 //! its job, so the output is ordered by job index and **identical for every
 //! worker-pool size**.
+//!
+//! Two execution modes share that machinery:
+//!
+//! * [`ExperimentEngine::run`] — fail fast. The first panicking job stops
+//!   the pool and the *original* panic payload is re-raised on the caller's
+//!   thread (not a secondary poisoned-lock error, and not the anonymous
+//!   "a scoped thread panicked" that `std::thread::scope` would raise).
+//! * [`ExperimentEngine::run_supervised`] — quarantine. Every job runs in
+//!   [`std::panic::catch_unwind`] with a bounded number of retries; each
+//!   slot yields `Result<T, JobFailure>`, so one poisoned scenario becomes
+//!   a failure record while every other job still completes.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// A bounded worker pool executing job lists with deterministic assembly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentEngine {
     workers: usize,
+}
+
+/// A quarantined job failure from [`ExperimentEngine::run_supervised`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index of the failed job in the submitted job list.
+    pub job: usize,
+    /// Attempts made (1 + retries) before the job was quarantined.
+    pub attempts: u32,
+    /// The final panic's message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job {} failed after {} attempt{}: {}",
+            self.job,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+/// A raw per-slot failure, keeping the boxed panic payload so `run` can
+/// re-raise the original panic verbatim.
+struct RawFailure {
+    attempts: u32,
+    payload: Box<dyn Any + Send>,
+}
+
+/// The human-readable message inside a panic payload. Panics raised by
+/// `panic!("...")` carry `&'static str` or `String`; anything else (a rare
+/// `panic_any`) is summarised.
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Locks ignoring poison. A worker that panicked between locking and
+/// unlocking a result slot poisons it; the interesting error is the job's
+/// panic (kept as a [`RawFailure`] or re-raised by `run`), not the
+/// secondary poisoning, so recover the guard instead of masking the root
+/// cause with a poisoned-lock `expect`.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl ExperimentEngine {
@@ -51,8 +118,80 @@ impl ExperimentEngine {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any job after all workers have stopped.
+    /// Re-raises the *original* panic payload of the lowest-indexed
+    /// panicking job after all workers have stopped claiming. No further
+    /// jobs are claimed once a panic is observed, but jobs already in
+    /// flight on other workers run to completion first.
     pub fn run<J, T, F>(&self, jobs: &[J], run: F) -> Vec<T>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(usize, &J) -> T + Sync,
+    {
+        let mut slots = self.execute(jobs, 1, true, &run);
+        // Re-raise the first (lowest-index) failure with its original
+        // payload, as if the caller had run that job inline.
+        if let Some(pos) = slots.iter().position(|s| matches!(s, Some(Err(_)))) {
+            let failure = match slots.swap_remove(pos) {
+                Some(Err(f)) => f,
+                _ => unreachable!("position() found an Err slot"),
+            };
+            std::panic::resume_unwind(failure.payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some(Ok(result)) => result,
+                _ => unreachable!("fail-fast run claims every job or re-raises"),
+            })
+            .collect()
+    }
+
+    /// Runs `run` over every job, quarantining panics instead of
+    /// propagating them.
+    ///
+    /// Each job is attempted up to `1 + retries` times inside
+    /// [`catch_unwind`]; a job whose every attempt panics yields
+    /// `Err(`[`JobFailure`]`)` in its slot while all other jobs still run
+    /// to completion. Results are in job order and, for deterministic
+    /// `run` closures, identical for every worker count.
+    pub fn run_supervised<J, T, F>(
+        &self,
+        jobs: &[J],
+        retries: u32,
+        run: F,
+    ) -> Vec<Result<T, JobFailure>>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(usize, &J) -> T + Sync,
+    {
+        self.execute(jobs, retries.saturating_add(1), false, &run)
+            .into_iter()
+            .enumerate()
+            .map(|(job, slot)| match slot {
+                Some(Ok(result)) => Ok(result),
+                Some(Err(failure)) => Err(JobFailure {
+                    job,
+                    attempts: failure.attempts,
+                    message: payload_message(failure.payload.as_ref()),
+                }),
+                None => unreachable!("supervised run claims every job"),
+            })
+            .collect()
+    }
+
+    /// The shared pool: workers claim job indices from an atomic counter
+    /// and store each job's outcome in its slot. With `stop_on_failure`,
+    /// a failed job stops further claims (slots after the stop stay
+    /// `None`); otherwise every job is claimed regardless of failures.
+    fn execute<J, T, F>(
+        &self,
+        jobs: &[J],
+        attempts: u32,
+        stop_on_failure: bool,
+        run: &F,
+    ) -> Vec<Option<Result<T, RawFailure>>>
     where
         J: Sync,
         T: Send,
@@ -61,28 +200,48 @@ impl ExperimentEngine {
         if jobs.is_empty() {
             return Vec::new();
         }
+        let attempts = attempts.max(1);
         let workers = self.workers.min(jobs.len());
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let stopped = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<Result<T, RawFailure>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if stop_on_failure && stopped.load(Ordering::Acquire) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
                     }
-                    let result = run(i, &jobs[i]);
-                    *slots[i].lock().expect("result slot lock poisoned") = Some(result);
+                    let mut outcome = None;
+                    for attempt in 1..=attempts {
+                        match catch_unwind(AssertUnwindSafe(|| run(i, &jobs[i]))) {
+                            Ok(result) => {
+                                outcome = Some(Ok(result));
+                                break;
+                            }
+                            Err(payload) => {
+                                outcome = Some(Err(RawFailure {
+                                    attempts: attempt,
+                                    payload,
+                                }));
+                            }
+                        }
+                    }
+                    let outcome = outcome.expect("at least one attempt ran");
+                    if outcome.is_err() && stop_on_failure {
+                        stopped.store(true, Ordering::Release);
+                    }
+                    *lock(&slots[i]) = Some(outcome);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot lock poisoned")
-                    .expect("every claimed job stores a result")
-            })
+            .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
             .collect()
     }
 }
@@ -103,6 +262,7 @@ pub fn default_workers() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rnuca_types::failpoint::{self, FailAction, FailSpec};
 
     #[test]
     fn results_are_ordered_by_job_index() {
@@ -143,5 +303,115 @@ mod tests {
         assert_eq!(ExperimentEngine::with_workers(0).workers(), 1);
         assert!(ExperimentEngine::new().workers() >= 1);
         assert_eq!(ExperimentEngine::default(), ExperimentEngine::new());
+    }
+
+    #[test]
+    fn run_propagates_the_original_panic_payload() {
+        let jobs: Vec<usize> = (0..20).collect();
+        let caught = std::panic::catch_unwind(|| {
+            ExperimentEngine::with_workers(4).run(&jobs, |_, &j| {
+                if j == 7 {
+                    panic!("scenario {j} exploded");
+                }
+                j
+            })
+        })
+        .expect_err("run must propagate the job panic");
+        let message = payload_message(caught.as_ref());
+        assert_eq!(
+            message, "scenario 7 exploded",
+            "the original payload must survive, not a poisoned-lock expect"
+        );
+    }
+
+    #[test]
+    fn run_propagates_the_lowest_indexed_panic() {
+        let jobs: Vec<usize> = (0..30).collect();
+        let caught = std::panic::catch_unwind(|| {
+            ExperimentEngine::with_workers(8).run(&jobs, |_, &j| {
+                if j == 5 || j == 23 {
+                    panic!("boom at {j}");
+                }
+                j
+            })
+        })
+        .expect_err("run must propagate a job panic");
+        assert_eq!(payload_message(caught.as_ref()), "boom at 5");
+    }
+
+    #[test]
+    fn supervised_run_quarantines_exactly_the_failing_job() {
+        let jobs: Vec<usize> = (0..25).collect();
+        for workers in [1, 3, 8] {
+            let out = ExperimentEngine::with_workers(workers).run_supervised(&jobs, 0, |_, &j| {
+                if j == 11 {
+                    panic!("poisoned scenario {j}");
+                }
+                j * 2
+            });
+            assert_eq!(out.len(), jobs.len());
+            for (i, slot) in out.iter().enumerate() {
+                if i == 11 {
+                    let failure = slot.as_ref().expect_err("job 11 must be quarantined");
+                    assert_eq!(failure.job, 11);
+                    assert_eq!(failure.attempts, 1);
+                    assert_eq!(failure.message, "poisoned scenario 11");
+                    assert_eq!(
+                        failure.to_string(),
+                        "job 11 failed after 1 attempt: poisoned scenario 11"
+                    );
+                } else {
+                    assert_eq!(slot.as_ref().copied(), Ok(i * 2), "job {i} must complete");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_retries_recover_transient_failures() {
+        let jobs = vec![0u32];
+        {
+            // Arm a fail point that panics on the first two hits only: the
+            // third attempt of the same job succeeds.
+            let _guard = failpoint::arm(&[FailSpec::window(
+                "engine::test::flaky",
+                FailAction::Panic,
+                1,
+                2,
+            )]);
+            let out = ExperimentEngine::with_workers(1).run_supervised(&jobs, 2, |_, &j| {
+                failpoint::panic_point("engine::test::flaky");
+                j + 100
+            });
+            assert_eq!(out, vec![Ok(100)]);
+        }
+        {
+            // With the same window but zero retries, the job is quarantined
+            // and the failure records a single attempt.
+            let _guard = failpoint::arm(&[FailSpec::window(
+                "engine::test::flaky",
+                FailAction::Panic,
+                1,
+                2,
+            )]);
+            let out = ExperimentEngine::with_workers(1).run_supervised(&jobs, 0, |_, &j| {
+                failpoint::panic_point("engine::test::flaky");
+                j + 100
+            });
+            let failure = out[0].as_ref().expect_err("no retries must quarantine");
+            assert_eq!(failure.attempts, 1);
+            assert!(failure.message.contains("engine::test::flaky"));
+        }
+    }
+
+    #[test]
+    fn supervised_failures_record_every_attempt() {
+        let jobs = vec![0u32];
+        let out = ExperimentEngine::with_workers(1).run_supervised(&jobs, 3, |_, _| -> u32 {
+            panic!("always fails");
+        });
+        let failure = out[0].as_ref().expect_err("job must fail");
+        assert_eq!(failure.attempts, 4, "1 initial try + 3 retries");
+        assert_eq!(failure.message, "always fails");
     }
 }

@@ -213,6 +213,17 @@ pub fn run_group_forked(
                 key,
                 "every member of a fused group steps the same stream"
             );
+            // Per-member injection site for the quarantine tests: the site
+            // name pins one scenario regardless of worker count or group
+            // composition, so a chaos test can poison exactly one job.
+            if rnuca_types::failpoint::enabled() {
+                rnuca_types::failpoint::panic_point(&format!(
+                    "sim::member::{}::{}::{}c",
+                    spec.name,
+                    design,
+                    spec.num_cores()
+                ));
+            }
             let snap = snapshots.snapshot(
                 traces,
                 *design,

@@ -1,0 +1,508 @@
+//! The sweep journal: an append-only per-job completion log that makes
+//! interrupted scenario sweeps resumable.
+//!
+//! A frontier-scale matrix is a long-lived job; a crash (or an injected
+//! fail point) must not vaporise hours of finished scenarios. As a
+//! journaled sweep progresses, every completed job appends one fixed-size
+//! entry — job index, [`Snap`]-encoded [`MeasuredRun`], FNV-64 checksum —
+//! to the journal file. Resume replays the journal, verifies that its
+//! header matches the matrix being run (fingerprint and job count), skips
+//! every journaled job, and re-runs only the rest. Because job results are
+//! a pure function of `(job, seed)`, the resumed sweep is *bit-identical*
+//! to an uninterrupted one — the chaos differential suite pins this down
+//! to the warehouse byte level.
+//!
+//! # File format
+//!
+//! ```text
+//! header:  magic "RNUCAJL\0" (8) | version u32 | fingerprint u64 | jobs u64
+//! entry:   job u64 | len u32 | payload (len bytes) | fnv64(job|len|payload)
+//! ```
+//!
+//! All integers little-endian. `payload` is the [`Snap`] encoding of one
+//! [`MeasuredRun`] (fixed-size). A crash mid-append leaves a torn final
+//! entry; replay detects it by length or checksum, drops it, and resume
+//! truncates the file back to the last intact entry before appending.
+//! Entries appear in completion order (worker-timing dependent), not job
+//! order — replay is order-insensitive because every entry names its job.
+
+use crate::cpi::DetailedCpi;
+use crate::simulator::MeasuredRun;
+use rnuca_types::failpoint;
+use rnuca_types::snap::{Snap, SnapReader};
+use rnuca_types::Fnv64;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The journal file's magic bytes.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"RNUCAJL\0";
+
+/// Version of the journal format (bumped on any layout change; resume
+/// refuses other versions rather than guessing).
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Header size in bytes: magic + version + fingerprint + job count.
+const HEADER_LEN: u64 = 8 + 4 + 8 + 8;
+
+/// The fixed [`Snap`]-encoded size of one [`MeasuredRun`] payload.
+fn run_payload_len() -> usize {
+    let zero = MeasuredRun {
+        cpi: DetailedCpi::default(),
+        accesses: 0,
+        instructions: 0.0,
+        off_chip_rate: 0.0,
+        l1_to_l1_rate: 0.0,
+        misclassification_rate: 0.0,
+        reclassifications: 0,
+    };
+    let mut buf = Vec::new();
+    zero.encode(&mut buf);
+    buf.len()
+}
+
+/// Why a journal could not be loaded or matched to a matrix.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file is not a journal, or its header is damaged beyond the
+    /// tolerated torn tail. `offset` is where decoding stopped making
+    /// sense.
+    Corrupt {
+        /// Byte offset of the damage.
+        offset: u64,
+        /// What was wrong there.
+        message: String,
+    },
+    /// The journal was written by a different matrix: resuming would mix
+    /// results from incompatible sweeps.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the journal header.
+        found: u64,
+        /// Fingerprint of the matrix being resumed.
+        expected: u64,
+    },
+    /// The journal's job count differs from the matrix's flattened job
+    /// list (same guard as the fingerprint, but with a clearer message
+    /// when only an axis changed).
+    JobCountMismatch {
+        /// Job count recorded in the journal header.
+        found: u64,
+        /// Job count of the matrix being resumed.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Corrupt { offset, message } => {
+                write!(f, "corrupt journal at byte {offset}: {message}")
+            }
+            JournalError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "journal fingerprint {found:#018x} does not match this matrix \
+                 ({expected:#018x}): it records a different sweep"
+            ),
+            JournalError::JobCountMismatch { found, expected } => write!(
+                f,
+                "journal records {found} jobs but this matrix flattens to \
+                 {expected}: an axis changed since the journal was written"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Locks ignoring poison: an injected panic inside [`SweepJournal::append`]
+/// must not wedge the remaining workers on a poisoned file lock — the
+/// interesting failure is the panic itself.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The append side of a sweep journal.
+///
+/// Shared by every engine worker (appends serialize on an internal lock);
+/// each append is flushed immediately so a crash loses at most the entry
+/// being written — which replay then drops as a torn tail.
+#[derive(Debug)]
+pub struct SweepJournal {
+    file: Mutex<File>,
+}
+
+impl SweepJournal {
+    /// Creates (truncating) a journal for a matrix with `jobs` flattened
+    /// jobs and the given fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Any error creating or writing the file.
+    pub fn create(path: &Path, fingerprint: u64, jobs: u64) -> std::io::Result<Self> {
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(JOURNAL_MAGIC);
+        JOURNAL_VERSION.encode(&mut header);
+        fingerprint.encode(&mut header);
+        jobs.encode(&mut header);
+        let mut file = File::create(path)?;
+        file.write_all(&header)?;
+        file.flush()?;
+        Ok(SweepJournal {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Reopens a journal for appending after [`JournalReplay::load`],
+    /// truncating any torn tail the replay detected.
+    ///
+    /// # Errors
+    ///
+    /// Any error opening or truncating the file.
+    pub fn resume(path: &Path, replay: &JournalReplay) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(replay.valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(SweepJournal {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one completed job's entry and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Any error writing the file (including an injected one from the
+    /// `sweep::journal::append` fail-point site).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the `sweep::journal::append` fail point fires with a
+    /// panic action (simulating a process killed at a job boundary, before
+    /// the entry lands), or when `sweep::journal::torn` fires (simulating a
+    /// crash mid-write: half the entry is written, then the panic).
+    pub fn append(&self, job: usize, run: &MeasuredRun) -> std::io::Result<()> {
+        let mut entry = Vec::with_capacity(20 + run_payload_len());
+        (job as u64).encode(&mut entry);
+        let mut payload = Vec::new();
+        run.encode(&mut payload);
+        (payload.len() as u32).encode(&mut entry);
+        entry.extend_from_slice(&payload);
+        let mut h = Fnv64::new();
+        h.write(&entry);
+        h.finish().encode(&mut entry);
+
+        let mut file = lock(&self.file);
+        failpoint::io_point("sweep::journal::append")?;
+        if failpoint::triggered("sweep::journal::torn") {
+            let half = entry.len() / 2;
+            file.write_all(&entry[..half])?;
+            file.flush()?;
+            panic!("fail point `sweep::journal::torn` triggered (injected)");
+        }
+        file.write_all(&entry)?;
+        file.flush()
+    }
+}
+
+/// The replay side: a journal's header and every intact entry.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// Matrix fingerprint recorded in the header.
+    pub fingerprint: u64,
+    /// Flattened job count recorded in the header.
+    pub jobs: u64,
+    /// Per-job completion state, indexed by job: `Some(run)` for journaled
+    /// jobs, `None` for jobs the interrupted sweep never finished.
+    pub runs: Vec<Option<MeasuredRun>>,
+    /// Whether a torn final entry was detected (and will be truncated away
+    /// by [`SweepJournal::resume`]).
+    pub torn_tail: bool,
+    /// File length up to and including the last intact entry.
+    pub valid_len: u64,
+}
+
+impl JournalReplay {
+    /// Loads and verifies a journal file.
+    ///
+    /// Header damage is an error; a torn *final* entry (the expected
+    /// residue of a crash mid-append) is tolerated — it is dropped,
+    /// recorded in [`Self::torn_tail`], and truncated away on resume.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the file cannot be read;
+    /// [`JournalError::Corrupt`] when the header or an entry (other than a
+    /// torn tail) is damaged.
+    pub fn load(path: &Path) -> Result<Self, JournalError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_LEN as usize {
+            return Err(JournalError::Corrupt {
+                offset: bytes.len() as u64,
+                message: format!(
+                    "journal header truncated ({} of {HEADER_LEN} bytes)",
+                    bytes.len()
+                ),
+            });
+        }
+        if &bytes[..8] != JOURNAL_MAGIC {
+            return Err(JournalError::Corrupt {
+                offset: 0,
+                message: "not a sweep journal (bad magic)".to_string(),
+            });
+        }
+        let mut r = SnapReader::new(&bytes[8..HEADER_LEN as usize]);
+        let version: u32 = r.get();
+        if version != JOURNAL_VERSION {
+            return Err(JournalError::Corrupt {
+                offset: 8,
+                message: format!(
+                    "journal version {version} is not the supported {JOURNAL_VERSION}"
+                ),
+            });
+        }
+        let fingerprint: u64 = r.get();
+        let jobs: u64 = r.get();
+
+        let payload_len = run_payload_len();
+        let entry_len = 8 + 4 + payload_len + 8;
+        let mut runs: Vec<Option<MeasuredRun>> = vec![None; jobs as usize];
+        let mut pos = HEADER_LEN as usize;
+        let mut torn_tail = false;
+        while pos < bytes.len() {
+            let rest = &bytes[pos..];
+            if rest.len() < entry_len {
+                torn_tail = true;
+                break;
+            }
+            let entry = &rest[..entry_len];
+            let mut h = Fnv64::new();
+            h.write(&entry[..entry_len - 8]);
+            let mut r = SnapReader::new(entry);
+            let job: u64 = r.get();
+            let len: u32 = r.get();
+            if len as usize != payload_len {
+                // A wrong length cannot be a torn tail (the bytes are all
+                // there); it means the writer and reader disagree on the
+                // payload shape.
+                return Err(JournalError::Corrupt {
+                    offset: (pos + 8) as u64,
+                    message: format!(
+                        "entry payload length {len} is not the expected {payload_len}"
+                    ),
+                });
+            }
+            let run: MeasuredRun = r.get();
+            let stored: u64 = r.get();
+            if stored != h.finish() {
+                // Checksum damage: tolerated as a torn tail (a crash
+                // mid-append is the expected cause). Everything after is
+                // dropped too — resume re-runs those jobs, and determinism
+                // reproduces their results exactly.
+                torn_tail = true;
+                break;
+            }
+            if job >= jobs {
+                return Err(JournalError::Corrupt {
+                    offset: pos as u64,
+                    message: format!("entry names job {job} of a {jobs}-job sweep"),
+                });
+            }
+            runs[job as usize] = Some(run);
+            pos += entry_len;
+        }
+        Ok(JournalReplay {
+            fingerprint,
+            jobs,
+            runs,
+            torn_tail,
+            valid_len: pos as u64,
+        })
+    }
+
+    /// Journaled (intact) entries.
+    pub fn completed(&self) -> usize {
+        self.runs.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run(x: f64) -> MeasuredRun {
+        MeasuredRun {
+            cpi: DetailedCpi {
+                l2_private_data: x,
+                ..DetailedCpi::default()
+            },
+            accesses: 1000 + x as u64,
+            instructions: 5e5,
+            off_chip_rate: 0.25,
+            l1_to_l1_rate: 0.01,
+            misclassification_rate: 0.0,
+            reclassifications: 3,
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rnuca-journal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn measured_run_snap_roundtrips() {
+        let run = sample_run(1.5);
+        let mut buf = Vec::new();
+        run.encode(&mut buf);
+        assert_eq!(buf.len(), run_payload_len());
+        let decoded = MeasuredRun::decode(&mut SnapReader::new(&buf));
+        assert_eq!(decoded, run);
+    }
+
+    #[test]
+    fn journal_roundtrips_and_is_order_insensitive() {
+        let path = temp_path("roundtrip");
+        let journal = SweepJournal::create(&path, 0xFEED, 5).unwrap();
+        // Completion order 3, 0, 4 — job order must come back regardless.
+        journal.append(3, &sample_run(3.0)).unwrap();
+        journal.append(0, &sample_run(0.0)).unwrap();
+        journal.append(4, &sample_run(4.0)).unwrap();
+        drop(journal);
+
+        let replay = JournalReplay::load(&path).unwrap();
+        assert_eq!(replay.fingerprint, 0xFEED);
+        assert_eq!(replay.jobs, 5);
+        assert_eq!(replay.completed(), 3);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.runs[0], Some(sample_run(0.0)));
+        assert_eq!(replay.runs[1], None);
+        assert_eq!(replay.runs[3], Some(sample_run(3.0)));
+        assert_eq!(replay.runs[4], Some(sample_run(4.0)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_resume_truncates_it() {
+        let path = temp_path("torn");
+        let journal = SweepJournal::create(&path, 7, 4).unwrap();
+        journal.append(0, &sample_run(0.0)).unwrap();
+        journal.append(1, &sample_run(1.0)).unwrap();
+        drop(journal);
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+
+        // Simulate a crash mid-append: half of job 2's entry.
+        let mut entry = Vec::new();
+        2u64.encode(&mut entry);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&entry).unwrap();
+        drop(file);
+
+        let replay = JournalReplay::load(&path).unwrap();
+        assert!(replay.torn_tail);
+        assert_eq!(replay.completed(), 2);
+        assert_eq!(replay.valid_len, intact_len);
+
+        // Resume truncates the torn tail and appends cleanly after it.
+        let journal = SweepJournal::resume(&path, &replay).unwrap();
+        journal.append(2, &sample_run(2.0)).unwrap();
+        drop(journal);
+        let replay = JournalReplay::load(&path).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.completed(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_damage_is_detected_as_a_torn_tail() {
+        let path = temp_path("checksum");
+        let journal = SweepJournal::create(&path, 7, 2).unwrap();
+        journal.append(0, &sample_run(0.0)).unwrap();
+        drop(journal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let replay = JournalReplay::load(&path).unwrap();
+        assert!(replay.torn_tail);
+        assert_eq!(replay.completed(), 0);
+        assert_eq!(replay.valid_len, HEADER_LEN);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn header_damage_is_an_error_with_an_offset() {
+        let path = temp_path("header");
+
+        std::fs::write(&path, b"short").unwrap();
+        match JournalReplay::load(&path).unwrap_err() {
+            JournalError::Corrupt { offset, message } => {
+                assert_eq!(offset, 5);
+                assert!(message.contains("truncated"));
+            }
+            other => panic!("want Corrupt, got {other}"),
+        }
+
+        std::fs::write(&path, vec![0u8; HEADER_LEN as usize]).unwrap();
+        match JournalReplay::load(&path).unwrap_err() {
+            JournalError::Corrupt { offset, .. } => assert_eq!(offset, 0),
+            other => panic!("want Corrupt, got {other}"),
+        }
+
+        let mut header = Vec::new();
+        header.extend_from_slice(JOURNAL_MAGIC);
+        99u32.encode(&mut header);
+        0u64.encode(&mut header);
+        0u64.encode(&mut header);
+        std::fs::write(&path, &header).unwrap();
+        match JournalReplay::load(&path).unwrap_err() {
+            JournalError::Corrupt { offset, message } => {
+                assert_eq!(offset, 8);
+                assert!(message.contains("version 99"));
+            }
+            other => panic!("want Corrupt, got {other}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_job_index_is_corrupt() {
+        let path = temp_path("range");
+        let journal = SweepJournal::create(&path, 7, 2).unwrap();
+        journal.append(9, &sample_run(0.0)).unwrap();
+        drop(journal);
+        match JournalReplay::load(&path).unwrap_err() {
+            JournalError::Corrupt { offset, message } => {
+                assert_eq!(offset, HEADER_LEN);
+                assert!(message.contains("job 9"));
+            }
+            other => panic!("want Corrupt, got {other}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_not_corrupt() {
+        let err = JournalReplay::load(Path::new("/nonexistent/rnuca.jl")).unwrap_err();
+        assert!(matches!(err, JournalError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+}

@@ -45,6 +45,7 @@ pub mod design;
 pub mod engine;
 pub mod experiment;
 pub mod fused;
+pub mod journal;
 pub mod report;
 pub mod scenario;
 pub mod simulator;
@@ -53,12 +54,14 @@ pub mod tile;
 
 pub use cpi::{CpiBreakdown, CpiComponent, DetailedCpi};
 pub use design::{AsrPolicy, LlcDesign};
-pub use engine::ExperimentEngine;
+pub use engine::{ExperimentEngine, JobFailure};
 pub use experiment::{DesignComparison, ExperimentConfig, RunResult, WorkloadResults};
 pub use fused::{group_indices, run_fused_forked, run_group_forked, FusedDriver, FusedGroupKey};
+pub use journal::{JournalError, JournalReplay, SweepJournal, JOURNAL_VERSION};
 pub use report::TextTable;
 pub use scenario::{
-    ScenarioJob, ScenarioMatrix, ScenarioResult, ScenarioSweep, SWEEP_SCHEMA_VERSION,
+    QuarantinedSweep, ResumeSummary, ScenarioJob, ScenarioMatrix, ScenarioResult, ScenarioSweep,
+    SweepError, SWEEP_SCHEMA_VERSION,
 };
 pub use simulator::{CmpSimulator, MeasuredRun};
 pub use snapshot::{SimSnapshot, SnapshotArena, SnapshotKey, WarmupClass};

@@ -26,9 +26,10 @@
 //! ```
 
 use crate::design::LlcDesign;
-use crate::engine::ExperimentEngine;
+use crate::engine::{ExperimentEngine, JobFailure};
 use crate::experiment::ExperimentConfig;
 use crate::fused::{group_indices, run_group_forked};
+use crate::journal::{JournalError, JournalReplay, SweepJournal, JOURNAL_VERSION};
 use crate::simulator::MeasuredRun;
 use crate::snapshot::{SnapshotArena, SnapshotKey};
 use rnuca_types::config::ConfigPoint;
@@ -37,6 +38,8 @@ use rnuca_warehouse::{AppendSummary, RowKind, RunRecord, Warehouse};
 use rnuca_workloads::{TraceArena, TraceKey, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::fmt;
+use std::path::Path;
 
 /// Schema version of the sweep rows [`ScenarioMatrix::run_forked_into`]
 /// appends to the warehouse (bumped when their column content changes
@@ -104,6 +107,88 @@ pub struct ScenarioSweep {
     pub cfg: ExperimentConfig,
     /// One result per job, ordered by job index.
     pub results: Vec<ScenarioResult>,
+}
+
+/// Why a journaled sweep could not run.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The matrix itself is invalid (same errors as [`ScenarioMatrix::jobs`]).
+    Config(ConfigError),
+    /// The journal could not be created, loaded, or matched to the matrix.
+    Journal(JournalError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Config(e) => write!(f, "{e}"),
+            SweepError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Config(e) => Some(e),
+            SweepError::Journal(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SweepError {
+    fn from(e: ConfigError) -> Self {
+        SweepError::Config(e)
+    }
+}
+
+impl From<JournalError> for SweepError {
+    fn from(e: JournalError) -> Self {
+        SweepError::Journal(e)
+    }
+}
+
+/// How much of a journaled sweep was replayed versus re-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeSummary {
+    /// Jobs whose results were replayed from the journal.
+    pub replayed: usize,
+    /// Jobs the sweep (re-)ran.
+    pub ran: usize,
+}
+
+/// A supervised matrix run: per-job `Result`s instead of an all-or-nothing
+/// sweep. See [`ScenarioMatrix::run_supervised_forked`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedSweep {
+    /// The run lengths and seed the sweep used.
+    pub cfg: ExperimentConfig,
+    /// One outcome per job, ordered by job index: the scenario's result,
+    /// or the quarantined failure that poisoned it.
+    pub results: Vec<Result<ScenarioResult, JobFailure>>,
+}
+
+impl QuarantinedSweep {
+    /// The quarantined failures, in job order.
+    pub fn failures(&self) -> Vec<&JobFailure> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect()
+    }
+
+    /// Jobs that completed.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// The sweep with every failure discarded (results stay in job order).
+    pub fn into_sweep(self) -> ScenarioSweep {
+        ScenarioSweep {
+            cfg: self.cfg,
+            results: self.results.into_iter().filter_map(Result::ok).collect(),
+        }
+    }
 }
 
 impl ScenarioMatrix {
@@ -262,17 +347,223 @@ impl ScenarioMatrix {
         snapshots: &SnapshotArena,
     ) -> Result<ScenarioSweep, ConfigError> {
         let jobs = self.jobs()?;
-        let mut seen = HashSet::new();
-        let unique: Vec<&ScenarioJob> = jobs
+        let completed = vec![None; jobs.len()];
+        let runs = self.run_forked_core(engine, arena, snapshots, &jobs, &completed, None);
+        Ok(ScenarioSweep {
+            cfg: self.cfg,
+            results: jobs
+                .iter()
+                .zip(runs)
+                .map(|(job, run)| result_from(job, run))
+                .collect(),
+        })
+    }
+
+    /// A fingerprint over every field of the matrix (and the journal
+    /// format version), identifying "the same sweep" for journal resume.
+    /// Any change — a workload profile, an axis value, a run length, the
+    /// seed — changes the fingerprint, so a stale journal is rejected
+    /// rather than silently mixed into a different sweep.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(format!("{self:?}").as_bytes());
+        h.write(&JOURNAL_VERSION.to_le_bytes());
+        h.write(&SWEEP_SCHEMA_VERSION.to_le_bytes());
+        h.finish()
+    }
+
+    /// [`Self::run_forked`], journaling every completed job to `path`.
+    ///
+    /// With `resume` false, `path` is created (truncating any previous
+    /// journal). With `resume` true, `path` is loaded first: its header
+    /// must match this matrix (fingerprint and job count), journaled jobs
+    /// are replayed instead of re-run, and only the remainder executes.
+    /// Because every job's result is a pure function of the matrix and the
+    /// seed, the resumed sweep — and any warehouse built from it — is
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Config`] for invalid matrices; [`SweepError::Journal`]
+    /// when the journal cannot be created or loaded, or does not belong to
+    /// this matrix.
+    pub fn run_forked_journaled(
+        &self,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+        snapshots: &SnapshotArena,
+        path: &Path,
+        resume: bool,
+    ) -> Result<(ScenarioSweep, ResumeSummary), SweepError> {
+        let jobs = self.jobs()?;
+        let fingerprint = self.fingerprint();
+        let (journal, completed) = if resume {
+            let replay = JournalReplay::load(path)?;
+            if replay.fingerprint != fingerprint {
+                return Err(JournalError::FingerprintMismatch {
+                    found: replay.fingerprint,
+                    expected: fingerprint,
+                }
+                .into());
+            }
+            if replay.jobs as usize != jobs.len() {
+                return Err(JournalError::JobCountMismatch {
+                    found: replay.jobs,
+                    expected: jobs.len() as u64,
+                }
+                .into());
+            }
+            let journal = SweepJournal::resume(path, &replay).map_err(JournalError::Io)?;
+            (journal, replay.runs)
+        } else {
+            let journal = SweepJournal::create(path, fingerprint, jobs.len() as u64)
+                .map_err(JournalError::Io)?;
+            (journal, vec![None; jobs.len()])
+        };
+        let replayed = completed.iter().filter(|c| c.is_some()).count();
+        let runs =
+            self.run_forked_core(engine, arena, snapshots, &jobs, &completed, Some(&journal));
+        let sweep = ScenarioSweep {
+            cfg: self.cfg,
+            results: jobs
+                .iter()
+                .zip(runs)
+                .map(|(job, run)| result_from(job, run))
+                .collect(),
+        };
+        Ok((
+            sweep,
+            ResumeSummary {
+                replayed,
+                ran: jobs.len() - replayed,
+            },
+        ))
+    }
+
+    /// [`Self::run_forked_journaled`], additionally appending one
+    /// `kind=sweep` row per result into `store` (the journaled analogue of
+    /// [`Self::run_forked_into`], with the same dedup-by-key semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run_forked_journaled`].
+    pub fn run_forked_into_journaled(
+        &self,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+        snapshots: &SnapshotArena,
+        path: &Path,
+        resume: bool,
+        store: &Warehouse,
+    ) -> Result<(ScenarioSweep, AppendSummary, ResumeSummary), SweepError> {
+        let (sweep, resumed) = self.run_forked_journaled(engine, arena, snapshots, path, resume)?;
+        let jobs = self.jobs()?;
+        let records: Vec<RunRecord> = jobs
             .iter()
+            .zip(&sweep.results)
+            .map(|(job, result)| sweep_record(&self.cfg, &job.workload, result))
+            .collect();
+        let summary = store.append_all(&records);
+        Ok((sweep, summary, resumed))
+    }
+
+    /// [`Self::run_forked`] with per-job panic quarantine: one poisoned
+    /// scenario yields a [`JobFailure`] in its slot while every other job
+    /// completes.
+    ///
+    /// Fused groups are attempted first (a panic anywhere in a group kills
+    /// the whole group's pass); members of failed groups are then re-run
+    /// *solo* — fusion is architecturally invisible, so a solo re-run
+    /// produces the member's bit-identical result — with up to `retries`
+    /// extra attempts each, and only members that still panic are
+    /// quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::jobs`] errors.
+    pub fn run_supervised_forked(
+        &self,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+        snapshots: &SnapshotArena,
+        retries: u32,
+    ) -> Result<QuarantinedSweep, ConfigError> {
+        let jobs = self.jobs()?;
+        self.populate_arenas(
+            engine,
+            arena,
+            snapshots,
+            &jobs,
+            &(0..jobs.len()).collect::<Vec<_>>(),
+        );
+        let groups = group_indices(&jobs, |job| TraceKey::new(&job.workload, self.cfg.seed));
+        let group_outcomes = engine.run_supervised(&groups, 0, |_, (_, indices)| {
+            let members: Vec<(&WorkloadSpec, LlcDesign)> = indices
+                .iter()
+                .map(|&i| (&jobs[i].workload, jobs[i].design))
+                .collect();
+            run_group_forked(&members, &self.cfg, arena, snapshots)
+        });
+        let mut results: Vec<Option<Result<ScenarioResult, JobFailure>>> =
+            jobs.iter().map(|_| None).collect();
+        let mut solo_jobs: Vec<usize> = Vec::new();
+        for ((_, indices), outcome) in groups.iter().zip(group_outcomes) {
+            match outcome {
+                Ok(runs) => {
+                    for (&i, run) in indices.iter().zip(runs) {
+                        results[i] = Some(Ok(result_from(&jobs[i], run)));
+                    }
+                }
+                // The panic poisoned the whole fused pass; every member is
+                // re-attempted solo below, so only the truly poisoned
+                // scenario ends up quarantined.
+                Err(_) => solo_jobs.extend(indices),
+            }
+        }
+        let solo_outcomes = engine.run_supervised(&solo_jobs, retries, |_, &i| {
+            let members = [(&jobs[i].workload, jobs[i].design)];
+            run_group_forked(&members, &self.cfg, arena, snapshots)
+                .pop()
+                .expect("a one-member group yields one run")
+        });
+        for (&i, outcome) in solo_jobs.iter().zip(solo_outcomes) {
+            results[i] = Some(match outcome {
+                Ok(run) => Ok(result_from(&jobs[i], run)),
+                Err(failure) => Err(JobFailure { job: i, ..failure }),
+            });
+        }
+        Ok(QuarantinedSweep {
+            cfg: self.cfg,
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every job is scattered or re-run solo"))
+                .collect(),
+        })
+    }
+
+    /// Materializes the streams and warmed checkpoints the jobs in
+    /// `pending` need, each unique one exactly once, in parallel.
+    fn populate_arenas(
+        &self,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+        snapshots: &SnapshotArena,
+        jobs: &[ScenarioJob],
+        pending: &[usize],
+    ) {
+        let mut seen = HashSet::new();
+        let unique: Vec<&ScenarioJob> = pending
+            .iter()
+            .map(|&i| &jobs[i])
             .filter(|job| seen.insert(TraceKey::new(&job.workload, self.cfg.seed)))
             .collect();
         engine.run(&unique, |_, job| {
             arena.populate(&job.workload, self.cfg.seed, self.cfg.total_refs())
         });
         let mut seen_checkpoints = HashSet::new();
-        let unique_checkpoints: Vec<&ScenarioJob> = jobs
+        let unique_checkpoints: Vec<&ScenarioJob> = pending
             .iter()
+            .map(|&i| &jobs[i])
             .filter(|job| {
                 seen_checkpoints.insert(SnapshotKey::new(
                     job.design,
@@ -292,36 +583,55 @@ impl ScenarioMatrix {
                 self.cfg.total_refs(),
             )
         });
-        let groups = group_indices(&jobs, |job| TraceKey::new(&job.workload, self.cfg.seed));
+    }
+
+    /// The shared fused-measurement path: runs every job in `jobs` whose
+    /// slot in `completed` is `None`, journaling each finished job when a
+    /// journal is given, and returns the full run vector in job order
+    /// (replayed results merged with computed ones).
+    fn run_forked_core(
+        &self,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+        snapshots: &SnapshotArena,
+        jobs: &[ScenarioJob],
+        completed: &[Option<MeasuredRun>],
+        journal: Option<&SweepJournal>,
+    ) -> Vec<MeasuredRun> {
+        let pending: Vec<usize> = (0..jobs.len())
+            .filter(|&i| completed[i].is_none())
+            .collect();
+        self.populate_arenas(engine, arena, snapshots, jobs, &pending);
+        let groups = group_indices(&pending, |&i| {
+            TraceKey::new(&jobs[i].workload, self.cfg.seed)
+        });
         let group_runs = engine.run(&groups, |_, (_, indices)| {
             let members: Vec<(&WorkloadSpec, LlcDesign)> = indices
                 .iter()
-                .map(|&i| (&jobs[i].workload, jobs[i].design))
+                .map(|&p| (&jobs[pending[p]].workload, jobs[pending[p]].design))
                 .collect();
-            run_group_forked(&members, &self.cfg, arena, snapshots)
+            let runs = run_group_forked(&members, &self.cfg, arena, snapshots);
+            if let Some(journal) = journal {
+                // Journal the whole group as soon as it completes: a crash
+                // between groups loses nothing, a crash mid-group loses at
+                // most this group (re-run deterministically on resume).
+                for (&p, run) in indices.iter().zip(&runs) {
+                    journal
+                        .append(pending[p], run)
+                        .unwrap_or_else(|e| panic!("journal append failed: {e}"));
+                }
+            }
+            runs
         });
-        let mut results: Vec<Option<ScenarioResult>> = jobs.iter().map(|_| None).collect();
+        let mut all: Vec<Option<MeasuredRun>> = completed.to_vec();
         for ((_, indices), runs) in groups.iter().zip(group_runs) {
-            for (&i, run) in indices.iter().zip(runs) {
-                let job = &jobs[i];
-                let system = job.workload.system_config();
-                results[i] = Some(ScenarioResult {
-                    workload: job.workload.name.clone(),
-                    design: job.design,
-                    point: job.point,
-                    cores: system.num_cores,
-                    slice_kb: system.l2_slice.geometry.capacity_bytes / 1024,
-                    run,
-                });
+            for (&p, run) in indices.iter().zip(runs) {
+                all[pending[p]] = Some(run);
             }
         }
-        Ok(ScenarioSweep {
-            cfg: self.cfg,
-            results: results
-                .into_iter()
-                .map(|r| r.expect("every job belongs to exactly one fused group"))
-                .collect(),
-        })
+        all.into_iter()
+            .map(|r| r.expect("every job is replayed or belongs to exactly one fused group"))
+            .collect()
     }
 
     /// [`Self::run_forked`], additionally appending one `kind=sweep` row
@@ -354,6 +664,19 @@ impl ScenarioMatrix {
             .collect();
         let summary = store.append_all(&records);
         Ok((sweep, summary))
+    }
+}
+
+/// Labels one job's measured run with its resolved configuration.
+fn result_from(job: &ScenarioJob, run: MeasuredRun) -> ScenarioResult {
+    let system = job.workload.system_config();
+    ScenarioResult {
+        workload: job.workload.name.clone(),
+        design: job.design,
+        point: job.point,
+        cores: system.num_cores,
+        slice_kb: system.l2_slice.geometry.capacity_bytes / 1024,
+        run,
     }
 }
 

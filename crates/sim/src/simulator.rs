@@ -114,6 +114,30 @@ impl MeasuredRun {
     }
 }
 
+impl Snap for MeasuredRun {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cpi.encode(out);
+        self.accesses.encode(out);
+        self.instructions.encode(out);
+        self.off_chip_rate.encode(out);
+        self.l1_to_l1_rate.encode(out);
+        self.misclassification_rate.encode(out);
+        self.reclassifications.encode(out);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Self {
+        MeasuredRun {
+            cpi: r.get(),
+            accesses: r.get(),
+            instructions: r.get(),
+            off_chip_rate: r.get(),
+            l1_to_l1_rate: r.get(),
+            misclassification_rate: r.get(),
+            reclassifications: r.get(),
+        }
+    }
+}
+
 /// Internal per-block record of "dirty and sitting in some core's L1".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct L1DirtyEntry {

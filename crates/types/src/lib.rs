@@ -29,6 +29,7 @@ pub mod access;
 pub mod addr;
 pub mod config;
 pub mod error;
+pub mod failpoint;
 pub mod fingerprint;
 pub mod ids;
 pub mod index_map;

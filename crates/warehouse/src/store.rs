@@ -17,18 +17,22 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use crate::catalog::{catalog_hash, ColumnType, CATALOG};
 use crate::query::{self, QueryError, QueryOutput};
 use crate::record::RunRecord;
+use rnuca_types::failpoint;
+use rnuca_types::Fnv64;
 
 /// Eight magic bytes opening every warehouse file.
 const MAGIC: &[u8; 8] = b"RNUCAWH\0";
 
 /// Bumped on any change to the byte layout below.
-const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the FNV-64 checksum trailer.
+const FORMAT_VERSION: u32 = 2;
 
 /// One materialized cell, as queries and projections see it.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,8 +103,15 @@ fn json_string(s: &str) -> String {
 /// Why a store failed to open or save.
 #[derive(Debug)]
 pub enum StoreError {
-    /// The bytes are not a warehouse file, or are truncated/garbled.
-    Corrupt(String),
+    /// The bytes are not a warehouse file, or are truncated/torn/garbled.
+    /// Never a panic, never silently-partial data: the whole file is
+    /// checksummed, so a torn save or a bit flip lands here.
+    Corrupt {
+        /// Byte offset where decoding stopped making sense.
+        offset: usize,
+        /// What was wrong there.
+        message: String,
+    },
     /// The file uses a format version this build does not read.
     Version(u32),
     /// The file was written against a different column catalog.
@@ -117,7 +128,9 @@ pub enum StoreError {
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::Corrupt(msg) => write!(f, "corrupt warehouse file: {msg}"),
+            StoreError::Corrupt { offset, message } => {
+                write!(f, "corrupt warehouse file at byte {offset}: {message}")
+            }
             StoreError::Version(v) => write!(
                 f,
                 "warehouse format version {v} is not supported (this build reads {FORMAT_VERSION})"
@@ -132,12 +145,83 @@ impl fmt::Display for StoreError {
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
     }
+}
+
+impl StoreError {
+    /// Renders this error in compiler style against the file it came from
+    /// — the same shape as [`QueryError::render`], with a hex context
+    /// window pointing at the offending byte for corruption errors:
+    ///
+    /// ```text
+    /// error: corrupt warehouse file: checksum mismatch: ...
+    ///   --> bench/warehouse.bin (byte 212 of 220)
+    ///    | 000000d0  4f 4c 54 50 [..] 44 42 32
+    ///    |                       ^^
+    ///    = help: restore the file from a backup, or delete it and re-ingest
+    /// ```
+    pub fn render(&self, path: &Path, bytes: &[u8]) -> String {
+        match self {
+            StoreError::Corrupt { offset, message } => {
+                let mut out = format!(
+                    "error: corrupt warehouse file: {message}\n  --> {} (byte {offset} of {})\n",
+                    path.display(),
+                    bytes.len()
+                );
+                out.push_str(&hex_context(bytes, *offset));
+                out.push_str(
+                    "   = help: restore the file from a backup, or delete it and re-ingest",
+                );
+                out
+            }
+            StoreError::Version(_) => format!(
+                "error: {self}\n  --> {}\n   = help: re-run the sweep (or re-ingest) with this \
+                 build to write the current format",
+                path.display()
+            ),
+            StoreError::CatalogMismatch { .. } => {
+                format!("error: {self}\n  --> {}", path.display())
+            }
+            StoreError::Io(_) => format!("error: {self}\n  --> {}", path.display()),
+        }
+    }
+}
+
+/// One hex-dump line (16 bytes) around `offset`, caret under the byte —
+/// the corruption renderer's context window. Empty for empty files; for
+/// an offset at end-of-file (truncation), the last line is shown with the
+/// caret past its final byte.
+fn hex_context(bytes: &[u8], offset: usize) -> String {
+    if bytes.is_empty() {
+        return String::new();
+    }
+    let at = offset.min(bytes.len());
+    let line = (at.min(bytes.len() - 1) / 16) * 16;
+    let end = (line + 16).min(bytes.len());
+    let mut hex = String::new();
+    for (i, b) in bytes[line..end].iter().enumerate() {
+        if i > 0 {
+            hex.push(' ');
+        }
+        hex.push_str(&format!("{b:02x}"));
+    }
+    let col = at - line;
+    format!(
+        "   | {line:08x}  {hex}\n   |           {}^^\n",
+        " ".repeat(col * 3)
+    )
 }
 
 /// The outcome of one append call.
@@ -325,6 +409,13 @@ impl Store {
                 }
             }
         }
+        // Checksum trailer over everything above: a torn save or a bit
+        // flip anywhere in the file fails loudly on open instead of
+        // misreading slabs (a flipped float byte would otherwise decode
+        // silently).
+        let mut h = Fnv64::new();
+        h.write(&out);
+        out.extend_from_slice(&h.finish().to_le_bytes());
         out
     }
 
@@ -332,7 +423,10 @@ impl Store {
         let mut r = ByteReader::new(bytes);
         let magic = r.take(8, "magic")?;
         if magic != MAGIC {
-            return Err(StoreError::Corrupt("bad magic bytes".to_string()));
+            return Err(StoreError::Corrupt {
+                offset: 0,
+                message: "bad magic bytes (not a warehouse file)".to_string(),
+            });
         }
         let version = r.u32("format version")?;
         if version != FORMAT_VERSION {
@@ -343,18 +437,55 @@ impl Store {
         if found != expected {
             return Err(StoreError::CatalogMismatch { found, expected });
         }
-        let row_count = usize::try_from(r.u64("row count")?)
-            .map_err(|_| StoreError::Corrupt("row count overflows usize".to_string()))?;
+        // Header is plausible: verify the checksum trailer over the whole
+        // body before trusting any slab bytes.
+        let body_len = match bytes.len().checked_sub(8) {
+            Some(body_len) if body_len >= r.pos() => body_len,
+            _ => {
+                return Err(StoreError::Corrupt {
+                    offset: bytes.len(),
+                    message: format!(
+                        "{}-byte file is too short to hold its checksum trailer",
+                        bytes.len()
+                    ),
+                })
+            }
+        };
+        let stored = u64::from_le_bytes(bytes[body_len..].try_into().expect("8 bytes"));
+        let mut h = Fnv64::new();
+        h.write(&bytes[..body_len]);
+        let computed = h.finish();
+        if stored != computed {
+            return Err(StoreError::Corrupt {
+                offset: body_len,
+                message: format!(
+                    "checksum mismatch: trailer records {stored:#018x} but the content \
+                     hashes to {computed:#018x} — the file is torn or bit-flipped"
+                ),
+            });
+        }
+        // From here on read only checksummed body bytes (offsets in
+        // errors stay absolute file offsets).
+        let mut r = ByteReader::resume(&bytes[..body_len], r.pos());
+        let row_count_at = r.pos();
+        let row_count = usize::try_from(r.u64("row count")?).map_err(|_| StoreError::Corrupt {
+            offset: row_count_at,
+            message: "row count overflows usize".to_string(),
+        })?;
         // A row costs well over 8 bytes, so this rejects absurd counts in
         // truncated/garbled headers before any large allocation.
         if row_count > bytes.len() / 8 {
-            return Err(StoreError::Corrupt(format!(
-                "row count {row_count} is impossible for a {}-byte file",
-                bytes.len()
-            )));
+            return Err(StoreError::Corrupt {
+                offset: row_count_at,
+                message: format!(
+                    "row count {row_count} is impossible for a {}-byte file",
+                    bytes.len()
+                ),
+            });
         }
         let next_batch = r.u32("next batch")?;
 
+        let keys_at = r.pos();
         let mut keys = Vec::with_capacity(row_count);
         for _ in 0..row_count {
             keys.push(r.u64("row key")?);
@@ -362,7 +493,10 @@ impl Store {
         let mut index = HashMap::with_capacity(row_count);
         for (row, &key) in keys.iter().enumerate() {
             if index.insert(key, row).is_some() {
-                return Err(StoreError::Corrupt(format!("duplicate row key {key:#x}")));
+                return Err(StoreError::Corrupt {
+                    offset: keys_at + row * 8,
+                    message: format!("duplicate row key {key:#x}"),
+                });
             }
         }
 
@@ -370,9 +504,12 @@ impl Store {
         let mut pool = StringPool::default();
         for i in 0..pool_len {
             let len = r.u32("string length")? as usize;
+            let string_at = r.pos();
             let raw = r.take(len, "string bytes")?;
-            let s = std::str::from_utf8(raw)
-                .map_err(|_| StoreError::Corrupt(format!("pool string {i} is not UTF-8")))?;
+            let s = std::str::from_utf8(raw).map_err(|_| StoreError::Corrupt {
+                offset: string_at,
+                message: format!("pool string {i} is not UTF-8"),
+            })?;
             pool.intern(s);
         }
 
@@ -398,12 +535,16 @@ impl Store {
                 ColumnType::Str => {
                     let mut v = Vec::with_capacity(row_count);
                     for _ in 0..row_count {
+                        let id_at = r.pos();
                         let id = r.u32("string cell")?;
                         if id as usize >= pool.strings.len().max(1) {
-                            return Err(StoreError::Corrupt(format!(
-                                "string id {id} out of range for column {}",
-                                col.name
-                            )));
+                            return Err(StoreError::Corrupt {
+                                offset: id_at,
+                                message: format!(
+                                    "string id {id} out of range for column {}",
+                                    col.name
+                                ),
+                            });
                         }
                         v.push(id);
                     }
@@ -413,10 +554,13 @@ impl Store {
             columns.push(ColumnSlab { valid, data });
         }
         if r.remaining() != 0 {
-            return Err(StoreError::Corrupt(format!(
-                "{} trailing bytes after the last column slab",
-                r.remaining()
-            )));
+            return Err(StoreError::Corrupt {
+                offset: r.pos(),
+                message: format!(
+                    "{} trailing bytes after the last column slab",
+                    r.remaining()
+                ),
+            });
         }
         Ok(Store {
             keys,
@@ -443,17 +587,30 @@ impl<'a> ByteReader<'a> {
         ByteReader { bytes, pos: 0 }
     }
 
+    /// A reader over `bytes` with its cursor already at `pos` (used to
+    /// re-bound the reader to the checksummed body while keeping error
+    /// offsets absolute).
+    fn resume(bytes: &'a [u8], pos: usize) -> Self {
+        ByteReader { bytes, pos }
+    }
+
+    fn pos(&self) -> usize {
+        self.pos
+    }
+
     fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
         if self.remaining() < n {
-            return Err(StoreError::Corrupt(format!(
-                "truncated while reading {what}: need {n} bytes at offset {}, have {}",
-                self.pos,
-                self.remaining()
-            )));
+            return Err(StoreError::Corrupt {
+                offset: self.pos,
+                message: format!(
+                    "truncated while reading {what}: need {n} bytes, have {}",
+                    self.remaining()
+                ),
+            });
         }
         let out = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -526,9 +683,23 @@ impl Warehouse {
         self.inner.lock().expect("warehouse lock").encode()
     }
 
-    /// Writes the store to `path` (whole-file rewrite).
+    /// Writes the store to `path` durably: the bytes go to a sibling
+    /// temporary file first, are fsynced, and are renamed over `path` in
+    /// one atomic step. A crash at any point leaves either the old store
+    /// or the new store on disk — never a torn file (and any torn
+    /// *temporary* left behind is invisible: opens go to `path`).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing, syncing, or renaming; the temporary
+    /// file is removed (best effort) on the error path.
     pub fn save(&self, path: &Path) -> Result<(), StoreError> {
-        Ok(std::fs::write(path, self.to_bytes())?)
+        let tmp = tmp_path(path);
+        let result = write_durably(path, &tmp, &self.to_bytes());
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Appends one record; returns `false` if its key was already present.
@@ -584,6 +755,53 @@ impl Warehouse {
     }
 }
 
+/// The sibling temporary path a durable save stages its bytes in.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "store".into());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// The staged write behind [`Warehouse::save`]: temp write, fsync, atomic
+/// rename, parent-directory fsync. Each stage carries a fail-point site
+/// (`warehouse::save::temp_write`/`fsync`/`rename`, plus
+/// `warehouse::save::torn_temp` for a partial write) so the chaos suite
+/// can kill the save at every stage and assert old-or-new-never-torn.
+fn write_durably(path: &Path, tmp: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut file = std::fs::File::create(tmp)?;
+    failpoint::io_point("warehouse::save::temp_write")?;
+    if failpoint::triggered("warehouse::save::torn_temp") {
+        // Simulate a crash mid-write: half the bytes land, then the
+        // injected failure. The rename below never happens, so `path`
+        // still holds the previous store.
+        file.write_all(&bytes[..bytes.len() / 2])?;
+        let _ = file.sync_all();
+        return Err(StoreError::Io(std::io::Error::other(
+            "fail point `warehouse::save::torn_temp` triggered (injected torn write)",
+        )));
+    }
+    file.write_all(bytes)?;
+    failpoint::io_point("warehouse::save::fsync")?;
+    // fsync before rename: the rename must never make a file visible
+    // whose bytes are still in flight.
+    file.sync_all()?;
+    drop(file);
+    failpoint::io_point("warehouse::save::rename")?;
+    std::fs::rename(tmp, path)?;
+    // Make the rename itself durable (best effort: some filesystems
+    // refuse directory handles, and the data is already safe either way).
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,7 +846,7 @@ mod tests {
     fn corrupt_inputs_are_rejected_not_panicked() {
         assert!(matches!(
             Warehouse::from_bytes(b"not a warehouse"),
-            Err(StoreError::Corrupt(_))
+            Err(StoreError::Corrupt { offset: 0, .. })
         ));
         let w = Warehouse::new();
         w.append(&rec("apache", 16));
@@ -654,6 +872,82 @@ mod tests {
             Warehouse::from_bytes(&c),
             Err(StoreError::CatalogMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn checksum_trailer_catches_single_bit_flips_anywhere() {
+        // A flipped bit in a float slab would decode "successfully" as a
+        // different number without the trailer; with it, every body byte
+        // is covered. Flip each byte past the catalog hash (magic/version/
+        // catalog flips report their own, more precise errors).
+        let w = Warehouse::new();
+        w.append(&rec("apache", 16));
+        let bytes = w.to_bytes();
+        for at in [20, 32, bytes.len() / 2, bytes.len() - 9, bytes.len() - 1] {
+            let mut flipped = bytes.clone();
+            flipped[at] ^= 0x04;
+            match Warehouse::from_bytes(&flipped) {
+                Err(StoreError::Corrupt { offset, message }) => {
+                    assert_eq!(offset, bytes.len() - 8, "flip at {at}");
+                    assert!(message.contains("checksum mismatch"), "flip at {at}");
+                }
+                other => panic!("flip at {at}: want checksum Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_errors_carry_a_byte_offset() {
+        let w = Warehouse::new();
+        w.append(&rec("apache", 16));
+        let bytes = w.to_bytes();
+        // Cut inside the header: decoding stops at the cut.
+        match Warehouse::from_bytes(&bytes[..10]).unwrap_err() {
+            StoreError::Corrupt { offset, .. } => assert!(offset <= 10),
+            other => panic!("want Corrupt, got {other:?}"),
+        }
+        // Cut mid-body: the checksum trailer reports the tear.
+        let cut = bytes.len() - 12;
+        match Warehouse::from_bytes(&bytes[..cut]).unwrap_err() {
+            StoreError::Corrupt { offset, .. } => assert_eq!(offset, cut - 8),
+            other => panic!("want Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_names_the_file_and_points_at_the_byte() {
+        let w = Warehouse::new();
+        w.append(&rec("apache", 16));
+        let mut bytes = w.to_bytes();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0xFF;
+        let err = Warehouse::from_bytes(&bytes).unwrap_err();
+        let rendered = err.render(Path::new("bench/warehouse.bin"), &bytes);
+        assert!(rendered.starts_with("error: corrupt warehouse file"));
+        assert!(rendered.contains("--> bench/warehouse.bin (byte"));
+        assert!(rendered.contains("^^"), "caret under the offending byte");
+        assert!(rendered.contains("= help:"));
+        // Version errors render without a hex window but still name the file.
+        let rendered = StoreError::Version(9).render(Path::new("old.bin"), &[]);
+        assert!(rendered.contains("error: warehouse format version 9"));
+        assert!(rendered.contains("--> old.bin"));
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rnuca-wh-save-{}.bin", std::process::id()));
+        let w = Warehouse::new();
+        w.append(&rec("apache", 16));
+        w.save(&path).expect("save");
+        assert!(!tmp_path(&path).exists(), "temp staging file must be gone");
+        let back = Warehouse::open(&path).expect("reopen");
+        assert_eq!(back.len(), 1);
+        // Overwriting an existing store is just as safe.
+        back.append(&rec("oltp", 32));
+        back.save(&path).expect("re-save");
+        assert_eq!(Warehouse::open(&path).expect("reopen").len(), 2);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
