@@ -62,6 +62,21 @@
 //! its journal. `journal PATH` prints a journal's header and completion
 //! count without running anything.
 //!
+//! Panic quarantine: `sweep --supervised` composes the journal with per-job
+//! supervision — a scenario whose every attempt panics is quarantined (with
+//! `--retries=N` solo retries under seeded backoff) instead of killing the
+//! sweep, journaled as a typed failure entry (`--resume` skips it rather
+//! than re-crashing), recorded as a queryable `kind=failed` warehouse row,
+//! and listed in a `"failures"` array in the JSON.
+//!
+//! The experiment service (`figures serve`) runs sweeps as a resident job
+//! server over a Unix socket in `--spool=DIR` (default `bench/spool`);
+//! `submit`/`status`/`watch`/`cancel`/`drain` are thin clients for it. A
+//! `submit` takes the active `--quick`/`--smoke` config plus
+//! `--workloads=`/`--designs=`/`--cores=`/`--slices=`/`--clusters=` axes
+//! and `--retries=`/`--deadline-ms=` supervision knobs. See the
+//! `rnuca-service` crate docs for the protocol and crash-resume semantics.
+//!
 //! Exit codes: 0 success, 1 generic failure, 2 malformed query (spanned
 //! diagnostics on stderr), 3 corrupt on-disk artifact — a damaged
 //! warehouse or journal renders a compiler-style diagnostic naming the
@@ -72,14 +87,17 @@ use rnuca_bench::{
     records_from_json, run_perf_scenarios, PerfBaseline, PerfScenario,
 };
 use rnuca_os::rid_assignment;
+use rnuca_service::{Request, ServiceClient, ServiceConfig};
 use rnuca_sim::report::{fmt3, fmt_pct};
 use rnuca_sim::{
     group_indices, DesignComparison, ExperimentConfig, ExperimentEngine, JournalError,
-    JournalReplay, ScenarioMatrix, ScenarioSweep, SnapshotArena, SweepError, TextTable,
+    JournalReplay, QuarantinedSweep, ScenarioMatrix, ScenarioSweep, SnapshotArena, SweepError,
+    TextTable,
 };
 use rnuca_types::access::AccessClass;
 use rnuca_types::config::SystemConfig;
 use rnuca_types::ids::TileId;
+use rnuca_types::{BackoffConfig, RetryPolicy};
 use rnuca_warehouse::{render_errors, Warehouse};
 use rnuca_workloads::WorkloadSpec;
 use std::path::Path;
@@ -125,6 +143,18 @@ fn main() {
         .map(String::from);
     let resume = args.iter().any(|a| a == "--resume");
     let json_output = args.iter().any(|a| a == "--json");
+    let supervised = args.iter().any(|a| a == "--supervised");
+    let retries = match args.iter().find_map(|a| a.strip_prefix("--retries=")) {
+        Some(n) => n
+            .parse::<u32>()
+            .unwrap_or_else(|_| exit_with(&format!("--retries must be a number, got {n}"))),
+        None => 1,
+    };
+    let spool_dir = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--spool="))
+        .unwrap_or("bench/spool")
+        .to_string();
     let targets: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -151,13 +181,31 @@ fn main() {
         CHARACTERIZATION_REFS
     };
 
-    // The warehouse subcommands consume the remaining positionals (files or
-    // query text) themselves — they are whole invocations, not targets.
+    // The warehouse and service subcommands consume the remaining
+    // positionals (files, query text, submission ids) themselves — they are
+    // whole invocations, not targets.
     match targets[0].as_str() {
         "ingest" => return ingest_cmd(store_path.as_deref(), &targets[1..]),
         "query" => return query_cmd(store_path.as_deref(), json_output, &targets[1..]),
         "gate" => return gate_cmd(store_path.as_deref(), baseline_path.as_deref(), cfg_label),
         "journal" => return journal_cmd(&targets[1..]),
+        "serve" => {
+            return serve_cmd(
+                &spool_dir,
+                store_path.as_deref().unwrap_or(DEFAULT_STORE),
+                &args,
+            )
+        }
+        "submit" => return submit_cmd(&spool_dir, &args, cfg_label, retries, &targets[1..]),
+        "status" => return simple_client_cmd(&spool_dir, Request::Status),
+        "watch" => return watch_cmd(&spool_dir, &targets[1..]),
+        "cancel" => {
+            let id = targets
+                .get(1)
+                .unwrap_or_else(|| exit_with("cancel needs a submission id"));
+            return simple_client_cmd(&spool_dir, Request::Cancel(id.clone()));
+        }
+        "drain" => return simple_client_cmd(&spool_dir, Request::Drain),
         _ => {}
     }
     if resume && journal_arg.is_none() {
@@ -193,6 +241,14 @@ fn main() {
             "fig11" => fig11(&cfg, &engine),
             "fig12" => fig12(comparison.as_ref().unwrap()),
             "accuracy" => accuracy(comparison.as_ref().unwrap()),
+            "sweep" if supervised => sweep_supervised(
+                cfg,
+                &engine,
+                store_path.as_deref(),
+                journal_arg.as_deref(),
+                resume,
+                retries,
+            ),
             "sweep" => sweep(
                 cfg,
                 &engine,
@@ -324,6 +380,226 @@ fn run_journaled_sweep(
         .unwrap_or_else(|e| exit_with(&format!("cannot remove completed journal {jpath}: {e}")));
     eprintln!("journal: sweep complete, removed {jpath}");
     sweep
+}
+
+/// `sweep --supervised`: the panic-quarantining sweep. One poisoned
+/// scenario gets `--retries` solo retries under seeded backoff and, if it
+/// still fails, a typed failure entry — in the JSON's `"failures"` array,
+/// in the journal (so `--resume` skips it instead of re-crashing), and as a
+/// `kind=failed` warehouse row with the failure text in the `failure`
+/// column.
+fn sweep_supervised(
+    cfg: ExperimentConfig,
+    engine: &ExperimentEngine,
+    store_path: Option<&str>,
+    journal: Option<&str>,
+    resume: bool,
+    retries: u32,
+) {
+    use rnuca_workloads::TraceArena;
+    let matrix = rnuca_bench::default_sweep_matrix(cfg);
+    let policy = RetryPolicy::immediate(retries).with_backoff(BackoffConfig::default_service());
+    let arena = TraceArena::new();
+    let snapshots = SnapshotArena::new();
+    let sweep = match journal {
+        Some(jpath) => {
+            let path = Path::new(jpath);
+            if !resume && path.exists() {
+                exit_with(&format!(
+                    "journal {jpath} already exists — an earlier sweep was interrupted; \
+                     pass --resume to continue it, or delete the journal to start over"
+                ));
+            }
+            if resume && !path.exists() {
+                exit_with(&format!(
+                    "--resume: journal {jpath} does not exist (run once without --resume to \
+                     create it)"
+                ));
+            }
+            let (sweep, resumed) = match store_path {
+                Some(spath) => {
+                    let store = open_store(spath);
+                    let (sweep, summary, resumed) = matrix
+                        .run_supervised_into_journaled(
+                            engine, &arena, &snapshots, path, resume, &policy, &store,
+                        )
+                        .unwrap_or_else(|e| exit_sweep_error(jpath, e));
+                    save_store(&store, spath);
+                    eprintln!(
+                        "warehouse: {} new rows ({} deduplicated) -> {spath}",
+                        summary.added, summary.deduplicated
+                    );
+                    (sweep, resumed)
+                }
+                None => matrix
+                    .run_supervised_journaled(engine, &arena, &snapshots, path, resume, &policy)
+                    .unwrap_or_else(|e| exit_sweep_error(jpath, e)),
+            };
+            eprintln!(
+                "journal: replayed {} of {} jobs, ran {} -> {jpath}",
+                resumed.replayed,
+                resumed.replayed + resumed.ran,
+                resumed.ran
+            );
+            // Every job has an outcome (a run or a quarantined failure), so
+            // the journal's work is done, exactly like the fail-fast path.
+            std::fs::remove_file(path).unwrap_or_else(|e| {
+                exit_with(&format!("cannot remove completed journal {jpath}: {e}"))
+            });
+            eprintln!("journal: sweep complete, removed {jpath}");
+            sweep
+        }
+        None => {
+            let sweep = matrix
+                .run_supervised_forked(engine, &arena, &snapshots, retries)
+                .unwrap_or_else(|e| exit_with(&format!("sweep failed: {e}")));
+            if let Some(spath) = store_path {
+                let store = open_store(spath);
+                let jobs = matrix.jobs().expect("the default sweep axes are valid");
+                let records: Vec<_> = jobs
+                    .iter()
+                    .zip(&sweep.results)
+                    .map(|(job, result)| match result {
+                        Ok(r) => rnuca_sim::sweep_record(&matrix.cfg, &job.workload, r),
+                        Err(f) => rnuca_sim::failed_record(&matrix.cfg, job, f),
+                    })
+                    .collect();
+                let summary = store.append_all(&records);
+                save_store(&store, spath);
+                eprintln!(
+                    "warehouse: {} new rows ({} deduplicated) -> {spath}",
+                    summary.added, summary.deduplicated
+                );
+            }
+            sweep
+        }
+    };
+    report_quarantined(&sweep);
+    print!("{}", sweep.to_json());
+}
+
+/// Makes quarantined jobs loud on stderr (stdout stays pipeable JSON).
+fn report_quarantined(sweep: &QuarantinedSweep) {
+    let failures = sweep.failures();
+    if failures.is_empty() {
+        return;
+    }
+    eprintln!(
+        "supervised sweep: {} of {} jobs quarantined:",
+        failures.len(),
+        sweep.results.len()
+    );
+    for f in failures {
+        eprintln!("  {f}");
+    }
+}
+
+/// `figures serve`: run the resident experiment service until drained.
+fn serve_cmd(spool: &str, store: &str, args: &[String]) {
+    let workers = match args.iter().find_map(|a| a.strip_prefix("--workers=")) {
+        Some(n) => n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                exit_with(&format!("--workers must be a positive integer, got {n}"))
+            }),
+        None => std::thread::available_parallelism().map_or(4, |n| n.get()),
+    };
+    rnuca_service::serve(&ServiceConfig {
+        spool: spool.into(),
+        store: store.into(),
+        workers,
+    })
+    .unwrap_or_else(|e| exit_with(&format!("service: {e}")));
+}
+
+/// Connects to the service socket inside `spool`, failing with a hint when
+/// no service is running there.
+fn connect_service(spool: &str) -> ServiceClient {
+    let socket = Path::new(spool).join("service.sock");
+    ServiceClient::connect(&socket).unwrap_or_else(|e| {
+        exit_with(&format!(
+            "cannot reach the experiment service at {} ({e}); start one with \
+             `figures serve --spool={spool}`",
+            socket.display()
+        ))
+    })
+}
+
+/// `figures submit`: build a spec from the active config and axis flags (or
+/// take a raw `v1|...` spec line as the positional) and queue it.
+fn submit_cmd(spool: &str, args: &[String], cfg_label: &str, retries: u32, rest: &[String]) {
+    let spec_line = match rest.first() {
+        Some(raw) => raw.clone(),
+        None => {
+            let axis = |prefix: &str| {
+                args.iter()
+                    .find_map(|a| a.strip_prefix(prefix))
+                    .unwrap_or("")
+                    .to_string()
+            };
+            let seed = args
+                .iter()
+                .find_map(|a| a.strip_prefix("--seed="))
+                .unwrap_or("-");
+            let deadline_ms = args
+                .iter()
+                .find_map(|a| a.strip_prefix("--deadline-ms="))
+                .unwrap_or("0");
+            format!(
+                "v1|config={cfg_label}|seed={seed}|workloads={}|designs={}|cores={}|slices={}\
+                 |clusters={}|retries={retries}|deadline_ms={deadline_ms}",
+                axis("--workloads="),
+                axis("--designs="),
+                axis("--cores="),
+                axis("--slices="),
+                axis("--clusters="),
+            )
+        }
+    };
+    // Validate locally first: a typo'd flag should fail with the parse
+    // error, not a round-trip.
+    if let Err(e) = rnuca_service::SubmitSpec::parse(&spec_line) {
+        exit_with(&format!("invalid submission: {e}"));
+    }
+    let mut client = connect_service(spool);
+    finish_reply(client.request(&Request::Submit(spec_line)));
+}
+
+/// Sends one request (`status`, `cancel`, `drain`) and prints the reply.
+fn simple_client_cmd(spool: &str, request: Request) {
+    let mut client = connect_service(spool);
+    finish_reply(client.request(&request));
+}
+
+/// `figures watch ID`: stream a submission's progress events until it
+/// reaches a terminal state; exit 1 when that state is a failure.
+fn watch_cmd(spool: &str, rest: &[String]) {
+    let id = rest
+        .first()
+        .unwrap_or_else(|| exit_with("watch needs a submission id: figures watch ID"));
+    let mut client = connect_service(spool);
+    let done = client
+        .watch(id, |event| println!("{event}"))
+        .unwrap_or_else(|e| exit_with(&format!("watch failed: {e}")));
+    println!("{done}");
+    // A failed submission renders as `done ID failed: reason` — distinct
+    // from the `failed=N` counter a completed one reports.
+    if done.starts_with("err ") || done.contains(" failed:") {
+        std::process::exit(1);
+    }
+}
+
+/// Prints an `ok` reply (sans prefix) or exits 1 with the `err` message.
+fn finish_reply(reply: std::io::Result<String>) {
+    match reply {
+        Ok(reply) => match reply.strip_prefix("ok ") {
+            Some(body) => println!("{body}"),
+            None => exit_with(&reply),
+        },
+        Err(e) => exit_with(&format!("service request failed: {e}")),
+    }
 }
 
 /// Renders a journaled-sweep failure and exits: corrupt journals get the

@@ -1,0 +1,83 @@
+//! A thin synchronous client for the service protocol — what the `figures`
+//! CLI (and the tests) speak through.
+
+use crate::protocol::{read_frame, write_frame, Request};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One connection to a running service.
+#[derive(Debug)]
+pub struct ServiceClient {
+    stream: UnixStream,
+}
+
+impl ServiceClient {
+    /// Connects to the service socket.
+    ///
+    /// # Errors
+    ///
+    /// No service is listening there.
+    pub fn connect(socket: &Path) -> io::Result<ServiceClient> {
+        Ok(ServiceClient {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// Connects, retrying until `timeout` — for callers that just started
+    /// the service and race its bind.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once the timeout expires.
+    pub fn connect_with_retry(socket: &Path, timeout: Duration) -> io::Result<ServiceClient> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match ServiceClient::connect(socket) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one request and returns its single reply frame (`ok ...` or
+    /// `err ...`). Not for `watch` — use [`ServiceClient::watch`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the service closing the connection without
+    /// replying.
+    pub fn request(&mut self, req: &Request) -> io::Result<String> {
+        write_frame(&mut self.stream, &req.encode())?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "service closed the connection before replying",
+            )
+        })
+    }
+
+    /// Subscribes to a submission's progress: `on_event` sees every `event`
+    /// frame; the final `done` (or immediate `err`) frame is returned.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the stream ending before `done`.
+    pub fn watch(&mut self, id: &str, mut on_event: impl FnMut(&str)) -> io::Result<String> {
+        write_frame(&mut self.stream, &Request::Watch(id.to_string()).encode())?;
+        loop {
+            let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "service closed the connection mid-watch",
+                )
+            })?;
+            if frame.starts_with("done ") || frame.starts_with("err ") {
+                return Ok(frame);
+            }
+            on_event(&frame);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The service's spool directory: the on-disk truth about submissions.
+//!
+//! Layout, one subdirectory per submission:
+//!
+//! ```text
+//! <spool>/
+//!   service.sock            the Unix-domain listener (ephemeral)
+//!   <id>/spec.line          the canonical SubmitSpec (written on submit)
+//!   <id>/journal.bin        the sweep journal (created when the run starts)
+//! ```
+//!
+//! A submission directory exists from the moment `submit` is accepted until
+//! its sweep's rows are safely in the warehouse (or it is cancelled) — the
+//! directory is removed only *after* the warehouse's atomic save returns.
+//! That ordering is the crash-resume invariant: any submission a crash can
+//! interrupt still has its spec (and, if it started, its journal) in the
+//! spool, so the next start's [`Spool::scan`] finds it and re-enqueues it.
+
+use crate::spec::SubmitSpec;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A spool directory handle. Creating one creates the directory.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    root: PathBuf,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool at `root`.
+    ///
+    /// # Errors
+    ///
+    /// The directory cannot be created.
+    pub fn new(root: &Path) -> io::Result<Spool> {
+        fs::create_dir_all(root)?;
+        Ok(Spool {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The spool root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The service's listening socket path (inside the spool, so one spool
+    /// is one service instance).
+    pub fn socket_path(&self) -> PathBuf {
+        self.root.join("service.sock")
+    }
+
+    /// A submission's directory.
+    pub fn dir(&self, id: &str) -> PathBuf {
+        self.root.join(id)
+    }
+
+    /// A submission's spec file.
+    pub fn spec_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join("spec.line")
+    }
+
+    /// A submission's journal file.
+    pub fn journal_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join("journal.bin")
+    }
+
+    /// Records a submission durably *before* it is enqueued: writes the
+    /// canonical spec line to a temp file and renames it into place, so a
+    /// crash at any point leaves either no spec or a complete one — never a
+    /// torn line that a later [`Spool::scan`] would misparse.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    pub fn write_spec(&self, id: &str, spec: &SubmitSpec) -> io::Result<()> {
+        let dir = self.dir(id);
+        fs::create_dir_all(&dir)?;
+        let tmp = dir.join("spec.line.tmp");
+        fs::write(&tmp, spec.encode())?;
+        fs::rename(&tmp, self.spec_path(id))
+    }
+
+    /// Removes a submission's directory (after completion or cancel).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error; an already-missing directory is not
+    /// an error.
+    pub fn remove(&self, id: &str) -> io::Result<()> {
+        match fs::remove_dir_all(self.dir(id)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Finds every submission left in the spool — the startup auto-resume
+    /// scan. Returns `(id, spec)` pairs sorted by id (deterministic resume
+    /// order). Entries whose spec is missing or unparseable are returned in
+    /// the second list as `(id, reason)` so the server can report them
+    /// without refusing to start.
+    ///
+    /// # Errors
+    ///
+    /// The spool directory itself cannot be read.
+    #[allow(clippy::type_complexity)]
+    pub fn scan(&self) -> io::Result<(Vec<(String, SubmitSpec)>, Vec<(String, String)>)> {
+        let mut found = Vec::new();
+        let mut rejected = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let id = entry.file_name().to_string_lossy().into_owned();
+            match fs::read_to_string(self.spec_path(&id)) {
+                Ok(line) => match SubmitSpec::parse(&line) {
+                    Ok(spec) => found.push((id, spec)),
+                    Err(e) => rejected.push((id, format!("unparseable spec: {e}"))),
+                },
+                Err(e) => rejected.push((id, format!("unreadable spec: {e}"))),
+            }
+        }
+        found.sort_by(|a, b| a.0.cmp(&b.0));
+        rejected.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok((found, rejected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_spool(tag: &str) -> Spool {
+        let root = std::env::temp_dir().join(format!("rnuca-spool-{}-{tag}", std::process::id()));
+        fs::remove_dir_all(&root).ok();
+        Spool::new(&root).expect("temp spool")
+    }
+
+    #[test]
+    fn specs_roundtrip_through_the_scan() {
+        let spool = temp_spool("roundtrip");
+        let a = SubmitSpec::default();
+        let b = SubmitSpec {
+            config: "quick".to_string(),
+            workloads: vec!["mix".to_string()],
+            ..SubmitSpec::default()
+        };
+        spool.write_spec("s02", &b).unwrap();
+        spool.write_spec("s01", &a).unwrap();
+        let (found, rejected) = spool.scan().unwrap();
+        assert!(rejected.is_empty());
+        assert_eq!(
+            found,
+            vec![("s01".to_string(), a), ("s02".to_string(), b)],
+            "scan returns specs sorted by id"
+        );
+        spool.remove("s01").unwrap();
+        let (found, _) = spool.scan().unwrap();
+        assert_eq!(found.len(), 1);
+        spool.remove("s01").expect("removing twice is fine");
+        fs::remove_dir_all(spool.root()).ok();
+    }
+
+    #[test]
+    fn a_broken_spec_is_reported_not_fatal() {
+        let spool = temp_spool("broken");
+        spool.write_spec("sgood", &SubmitSpec::default()).unwrap();
+        fs::create_dir_all(spool.dir("sbad")).unwrap();
+        fs::write(spool.spec_path("sbad"), "v9|nope").unwrap();
+        fs::create_dir_all(spool.dir("sempty")).unwrap();
+        let (found, rejected) = spool.scan().unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, "sgood");
+        assert_eq!(rejected.len(), 2);
+        assert_eq!(rejected[0].0, "sbad");
+        assert_eq!(rejected[1].0, "sempty");
+        fs::remove_dir_all(spool.root()).ok();
+    }
+}

@@ -26,12 +26,50 @@ use std::any::Any;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+
+use rnuca_types::retry::RetryPolicy;
 
 /// A bounded worker pool executing job lists with deterministic assembly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentEngine {
     workers: usize,
+}
+
+/// Why a supervised job was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureCause {
+    /// Every attempt panicked.
+    Panic,
+    /// The final attempt exceeded the policy's per-attempt wall-clock
+    /// deadline (only from [`ExperimentEngine::run_supervised_detached`]).
+    Deadline,
+}
+
+impl FailureCause {
+    /// Stable lower-case token (`"panic"` / `"deadline"`) used by the
+    /// journal's typed failure entries and the warehouse failure column.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureCause::Panic => "panic",
+            FailureCause::Deadline => "deadline",
+        }
+    }
+
+    /// Parses the [`FailureCause::as_str`] token back.
+    pub fn parse(token: &str) -> Option<Self> {
+        match token {
+            "panic" => Some(FailureCause::Panic),
+            "deadline" => Some(FailureCause::Deadline),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// A quarantined job failure from [`ExperimentEngine::run_supervised`].
@@ -41,6 +79,8 @@ pub struct JobFailure {
     pub job: usize,
     /// Attempts made (1 + retries) before the job was quarantined.
     pub attempts: u32,
+    /// Why the final attempt failed.
+    pub cause: FailureCause,
     /// The final panic's message (or a placeholder for non-string payloads).
     pub message: String,
 }
@@ -49,10 +89,11 @@ impl fmt::Display for JobFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "job {} failed after {} attempt{}: {}",
+            "job {} failed after {} attempt{} ({}): {}",
             self.job,
             self.attempts,
             if self.attempts == 1 { "" } else { "s" },
+            self.cause,
             self.message
         )
     }
@@ -128,7 +169,7 @@ impl ExperimentEngine {
         T: Send,
         F: Fn(usize, &J) -> T + Sync,
     {
-        let mut slots = self.execute(jobs, 1, true, &run);
+        let mut slots = self.execute(jobs, 0, &RetryPolicy::immediate(0), true, &run);
         // Re-raise the first (lowest-index) failure with its original
         // payload, as if the caller had run that job inline.
         if let Some(pos) = slots.iter().position(|s| matches!(s, Some(Err(_)))) {
@@ -151,10 +192,12 @@ impl ExperimentEngine {
     /// propagating them.
     ///
     /// Each job is attempted up to `1 + retries` times inside
-    /// [`catch_unwind`]; a job whose every attempt panics yields
+    /// [`catch_unwind`] with *immediate* retries (no backoff, no
+    /// deadline); a job whose every attempt panics yields
     /// `Err(`[`JobFailure`]`)` in its slot while all other jobs still run
     /// to completion. Results are in job order and, for deterministic
-    /// `run` closures, identical for every worker count.
+    /// `run` closures, identical for every worker count. For a paced
+    /// retry schedule use [`ExperimentEngine::run_supervised_policy`].
     pub fn run_supervised<J, T, F>(
         &self,
         jobs: &[J],
@@ -166,7 +209,30 @@ impl ExperimentEngine {
         T: Send,
         F: Fn(usize, &J) -> T + Sync,
     {
-        self.execute(jobs, retries.saturating_add(1), false, &run)
+        self.run_supervised_policy(jobs, 0, &RetryPolicy::immediate(retries), run)
+    }
+
+    /// [`ExperimentEngine::run_supervised`] with a full [`RetryPolicy`]:
+    /// between attempts of job `i` the claiming worker sleeps the policy's
+    /// seeded-jitter backoff `delay(seed, i, attempt)` — a pure function of
+    /// its arguments, so the pause schedule (like the results) is identical
+    /// for every worker count. The policy's `deadline` is **not** enforced
+    /// here: borrowed jobs cannot be abandoned mid-attempt; use
+    /// [`ExperimentEngine::run_supervised_detached`] when attempts must be
+    /// bounded in wall-clock time.
+    pub fn run_supervised_policy<J, T, F>(
+        &self,
+        jobs: &[J],
+        seed: u64,
+        policy: &RetryPolicy,
+        run: F,
+    ) -> Vec<Result<T, JobFailure>>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(usize, &J) -> T + Sync,
+    {
+        self.execute(jobs, seed, policy, false, &run)
             .into_iter()
             .enumerate()
             .map(|(job, slot)| match slot {
@@ -174,6 +240,7 @@ impl ExperimentEngine {
                 Some(Err(failure)) => Err(JobFailure {
                     job,
                     attempts: failure.attempts,
+                    cause: FailureCause::Panic,
                     message: payload_message(failure.payload.as_ref()),
                 }),
                 None => unreachable!("supervised run claims every job"),
@@ -182,13 +249,15 @@ impl ExperimentEngine {
     }
 
     /// The shared pool: workers claim job indices from an atomic counter
-    /// and store each job's outcome in its slot. With `stop_on_failure`,
-    /// a failed job stops further claims (slots after the stop stay
-    /// `None`); otherwise every job is claimed regardless of failures.
+    /// and store each job's outcome in its slot, pausing the policy's
+    /// seeded backoff between attempts. With `stop_on_failure`, a failed
+    /// job stops further claims (slots after the stop stay `None`);
+    /// otherwise every job is claimed regardless of failures.
     fn execute<J, T, F>(
         &self,
         jobs: &[J],
-        attempts: u32,
+        seed: u64,
+        policy: &RetryPolicy,
         stop_on_failure: bool,
         run: &F,
     ) -> Vec<Option<Result<T, RawFailure>>>
@@ -200,7 +269,7 @@ impl ExperimentEngine {
         if jobs.is_empty() {
             return Vec::new();
         }
-        let attempts = attempts.max(1);
+        let attempts = policy.attempts();
         let workers = self.workers.min(jobs.len());
         let next = AtomicUsize::new(0);
         let stopped = AtomicBool::new(false);
@@ -218,6 +287,12 @@ impl ExperimentEngine {
                     }
                     let mut outcome = None;
                     for attempt in 1..=attempts {
+                        if attempt > 1 {
+                            let pause = policy.backoff.delay(seed, i, attempt - 1);
+                            if !pause.is_zero() {
+                                std::thread::sleep(pause);
+                            }
+                        }
                         match catch_unwind(AssertUnwindSafe(|| run(i, &jobs[i]))) {
                             Ok(result) => {
                                 outcome = Some(Ok(result));
@@ -243,6 +318,126 @@ impl ExperimentEngine {
             .into_iter()
             .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
             .collect()
+    }
+
+    /// Supervised execution with per-attempt wall-clock deadlines and a
+    /// cooperative stop flag — the experiment service's execution mode.
+    ///
+    /// Each attempt runs on a *detached* thread that reports its outcome
+    /// over a channel; the claiming worker acts as the watchdog, waiting at
+    /// most `policy.deadline` for the report. An attempt that overruns is
+    /// abandoned (threads cannot be killed; the stray thread finishes into
+    /// a disconnected channel and its result is dropped — `run` must
+    /// therefore be side-effect-free, with journaling done by the caller
+    /// on received results only) and counts as a failed attempt with
+    /// [`FailureCause::Deadline`]. Retries pause on the policy's seeded
+    /// backoff, exactly like [`ExperimentEngine::run_supervised_policy`].
+    ///
+    /// `stop` is checked before each claim: once set, workers stop claiming
+    /// and in-flight attempts run to completion — the `drain` half of the
+    /// service protocol. Unclaimed slots come back as `None` (never
+    /// attempted), claimed ones as `Some(result)`.
+    ///
+    /// The `Arc`/`'static` bounds exist because abandoned attempt threads
+    /// may outlive this call; they keep the jobs and closure alive instead
+    /// of dangling.
+    pub fn run_supervised_detached<J, T, F>(
+        &self,
+        jobs: Arc<Vec<J>>,
+        seed: u64,
+        policy: &RetryPolicy,
+        stop: &AtomicBool,
+        run: Arc<F>,
+    ) -> Vec<Option<Result<T, JobFailure>>>
+    where
+        J: Send + Sync + 'static,
+        T: Send + 'static,
+        F: Fn(usize, &J) -> T + Send + Sync + 'static,
+    {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let attempts = policy.attempts();
+        let workers = self.workers.min(jobs.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<T, JobFailure>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let mut outcome = None;
+                    for attempt in 1..=attempts {
+                        if attempt > 1 {
+                            let pause = policy.backoff.delay(seed, i, attempt - 1);
+                            if !pause.is_zero() {
+                                std::thread::sleep(pause);
+                            }
+                        }
+                        match self.attempt_detached(&jobs, i, policy, &run) {
+                            Ok(result) => {
+                                outcome = Some(Ok(result));
+                                break;
+                            }
+                            Err(cause_message) => {
+                                outcome = Some(Err(JobFailure {
+                                    job: i,
+                                    attempts: attempt,
+                                    cause: cause_message.0,
+                                    message: cause_message.1,
+                                }));
+                            }
+                        }
+                    }
+                    *lock(&slots[i]) = Some(outcome.expect("at least one attempt ran"));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect()
+    }
+
+    /// One watchdogged attempt of job `i`: spawn the attempt detached,
+    /// wait at most the policy deadline for its report.
+    fn attempt_detached<J, T, F>(
+        &self,
+        jobs: &Arc<Vec<J>>,
+        i: usize,
+        policy: &RetryPolicy,
+        run: &Arc<F>,
+    ) -> Result<T, (FailureCause, String)>
+    where
+        J: Send + Sync + 'static,
+        T: Send + 'static,
+        F: Fn(usize, &J) -> T + Send + Sync + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let jobs = Arc::clone(jobs);
+        let run = Arc::clone(run);
+        std::thread::spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| run(i, &jobs[i])));
+            // The watchdog may have given up and dropped the receiver; a
+            // failed send just discards the late result.
+            let _ = tx.send(result);
+        });
+        let report = match policy.deadline {
+            Some(deadline) => rx.recv_timeout(deadline).map_err(|_| {
+                (
+                    FailureCause::Deadline,
+                    format!("attempt exceeded the {deadline:?} deadline (abandoned)"),
+                )
+            })?,
+            None => rx.recv().expect("attempt thread always reports"),
+        };
+        report.map_err(|payload| (FailureCause::Panic, payload_message(payload.as_ref())))
     }
 }
 
@@ -356,9 +551,10 @@ mod tests {
                     assert_eq!(failure.job, 11);
                     assert_eq!(failure.attempts, 1);
                     assert_eq!(failure.message, "poisoned scenario 11");
+                    assert_eq!(failure.cause, FailureCause::Panic);
                     assert_eq!(
                         failure.to_string(),
-                        "job 11 failed after 1 attempt: poisoned scenario 11"
+                        "job 11 failed after 1 attempt (panic): poisoned scenario 11"
                     );
                 } else {
                     assert_eq!(slot.as_ref().copied(), Ok(i * 2), "job {i} must complete");
@@ -413,5 +609,141 @@ mod tests {
         let failure = out[0].as_ref().expect_err("job must fail");
         assert_eq!(failure.attempts, 4, "1 initial try + 3 retries");
         assert_eq!(failure.message, "always fails");
+    }
+
+    #[test]
+    fn failure_cause_round_trips_its_token() {
+        for cause in [FailureCause::Panic, FailureCause::Deadline] {
+            assert_eq!(FailureCause::parse(cause.as_str()), Some(cause));
+        }
+        assert_eq!(FailureCause::parse("cosmic-ray"), None);
+    }
+
+    #[test]
+    fn policy_backoff_is_identical_across_worker_counts() {
+        use rnuca_types::retry::BackoffConfig;
+        use std::sync::atomic::AtomicU64;
+
+        // Short real delays so the test observes actual pauses without
+        // slowing the suite: base 2 ms, two retries.
+        let policy = RetryPolicy::immediate(2).with_backoff(BackoffConfig {
+            base_ms: 2,
+            cap_ms: 8,
+        });
+        let jobs: Vec<usize> = (0..12).collect();
+        let mut reference: Option<Vec<Result<usize, JobFailure>>> = None;
+        for workers in [1, 4] {
+            let attempts_seen: Vec<AtomicU64> = jobs.iter().map(|_| AtomicU64::new(0)).collect();
+            let out = ExperimentEngine::with_workers(workers).run_supervised_policy(
+                &jobs,
+                42,
+                &policy,
+                |i, &j| {
+                    // Odd jobs fail once, then succeed on the retry.
+                    let attempt = attempts_seen[i].fetch_add(1, Ordering::Relaxed) + 1;
+                    if j % 2 == 1 && attempt == 1 {
+                        panic!("transient failure in job {j}");
+                    }
+                    j * 10
+                },
+            );
+            match &reference {
+                None => reference = Some(out),
+                Some(reference) => {
+                    assert_eq!(&out, reference, "worker count {workers} changed the output");
+                }
+            }
+        }
+        let reference = reference.unwrap();
+        for (i, slot) in reference.iter().enumerate() {
+            assert_eq!(slot.as_ref().copied(), Ok(i * 10), "job {i} must recover");
+        }
+    }
+
+    #[test]
+    fn detached_run_enforces_the_deadline_and_keeps_other_jobs() {
+        use std::time::Duration;
+
+        let jobs: Vec<u64> = (0..6).collect();
+        let policy = RetryPolicy::immediate(0).with_deadline(Duration::from_millis(50));
+        let stop = AtomicBool::new(false);
+        let out = ExperimentEngine::with_workers(3).run_supervised_detached(
+            Arc::new(jobs),
+            42,
+            &policy,
+            &stop,
+            Arc::new(|_, &j: &u64| {
+                if j == 2 {
+                    // Far past the deadline; the attempt is abandoned.
+                    std::thread::sleep(Duration::from_secs(5));
+                }
+                j + 1
+            }),
+        );
+        assert_eq!(out.len(), 6);
+        for (i, slot) in out.iter().enumerate() {
+            let slot = slot.as_ref().expect("every job is claimed");
+            if i == 2 {
+                let failure = slot.as_ref().expect_err("job 2 must hit the deadline");
+                assert_eq!(failure.cause, FailureCause::Deadline);
+                assert_eq!(failure.attempts, 1);
+                assert!(failure.message.contains("deadline"), "{}", failure.message);
+            } else {
+                assert_eq!(slot.as_ref().copied(), Ok(i as u64 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn detached_run_quarantines_panics_with_their_message() {
+        let jobs: Vec<u64> = (0..4).collect();
+        let stop = AtomicBool::new(false);
+        let out = ExperimentEngine::with_workers(2).run_supervised_detached(
+            Arc::new(jobs),
+            7,
+            &RetryPolicy::immediate(1),
+            &stop,
+            Arc::new(|_, &j: &u64| {
+                if j == 3 {
+                    panic!("member {j} exploded");
+                }
+                j
+            }),
+        );
+        let failure = out[3]
+            .as_ref()
+            .expect("claimed")
+            .as_ref()
+            .expect_err("job 3 must fail");
+        assert_eq!(failure.cause, FailureCause::Panic);
+        assert_eq!(failure.attempts, 2, "one retry was spent");
+        assert_eq!(failure.message, "member 3 exploded");
+    }
+
+    #[test]
+    fn detached_run_stops_claiming_once_the_stop_flag_is_set() {
+        // One worker, stop flag raised by the first job: the remaining
+        // jobs must never be claimed (their slots stay None) — the `drain`
+        // behaviour of the experiment service.
+        let jobs: Vec<u64> = (0..5).collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_from_job = Arc::clone(&stop);
+        let out = ExperimentEngine::with_workers(1).run_supervised_detached(
+            Arc::new(jobs),
+            0,
+            &RetryPolicy::immediate(0),
+            &stop,
+            Arc::new(move |_, &j: &u64| {
+                stop_from_job.store(true, Ordering::Release);
+                j
+            }),
+        );
+        assert_eq!(
+            out[0].as_ref().expect("first job ran").as_ref().copied(),
+            Ok(0)
+        );
+        for slot in &out[1..] {
+            assert!(slot.is_none(), "drained jobs must never be claimed");
+        }
     }
 }

@@ -12,21 +12,31 @@
 //! to an uninterrupted one — the chaos differential suite pins this down
 //! to the warehouse byte level.
 //!
-//! # File format
+//! # File format (version 2)
 //!
 //! ```text
 //! header:  magic "RNUCAJL\0" (8) | version u32 | fingerprint u64 | jobs u64
-//! entry:   job u64 | len u32 | payload (len bytes) | fnv64(job|len|payload)
+//! entry:   job u64 | kind u8 | len u32 | payload (len bytes)
+//!          | fnv64(job|kind|len|payload)
 //! ```
 //!
-//! All integers little-endian. `payload` is the [`Snap`] encoding of one
-//! [`MeasuredRun`] (fixed-size). A crash mid-append leaves a torn final
-//! entry; replay detects it by length or checksum, drops it, and resume
-//! truncates the file back to the last intact entry before appending.
-//! Entries appear in completion order (worker-timing dependent), not job
-//! order — replay is order-insensitive because every entry names its job.
+//! All integers little-endian. `kind` is 0 for a completed run — `payload`
+//! is the fixed-size [`Snap`] encoding of one [`MeasuredRun`] — or 1 for a
+//! *quarantined failure*: a typed record (attempt count, failure cause,
+//! panic message) written when supervision gives up on a job, so a resumed
+//! sweep skips the poisoned job instead of re-crashing on it. A crash
+//! mid-append leaves a torn final entry; replay detects it by length or
+//! checksum, drops it, and resume truncates the file back to the last
+//! intact entry before appending. Entries appear in completion order
+//! (worker-timing dependent), not job order — replay is order-insensitive
+//! because every entry names its job.
+//!
+//! Version 1 files (no `kind` byte) are refused by version, not guessed
+//! at: the matrix fingerprint mixes `JOURNAL_VERSION` in, so a stale
+//! journal fails the version check with a clear message.
 
 use crate::cpi::DetailedCpi;
+use crate::engine::FailureCause;
 use crate::simulator::MeasuredRun;
 use rnuca_types::failpoint;
 use rnuca_types::snap::{Snap, SnapReader};
@@ -42,10 +52,24 @@ pub const JOURNAL_MAGIC: &[u8; 8] = b"RNUCAJL\0";
 
 /// Version of the journal format (bumped on any layout change; resume
 /// refuses other versions rather than guessing).
-pub const JOURNAL_VERSION: u32 = 1;
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// Header size in bytes: magic + version + fingerprint + job count.
 const HEADER_LEN: u64 = 8 + 4 + 8 + 8;
+
+/// Entry kind byte: a completed [`MeasuredRun`].
+const ENTRY_RUN: u8 = 0;
+
+/// Entry kind byte: a quarantined [`JournalFailure`].
+const ENTRY_FAILED: u8 = 1;
+
+/// Bytes before the payload in every entry: job + kind + len.
+const ENTRY_PRELUDE: usize = 8 + 1 + 4;
+
+/// Upper bound on a failure entry's payload. A panic message is a line or
+/// two; anything bigger means the `len` field is damaged, and believing it
+/// would allocate unbounded memory from a corrupt byte.
+const MAX_FAILURE_PAYLOAD: usize = 64 * 1024;
 
 /// The fixed [`Snap`]-encoded size of one [`MeasuredRun`] payload.
 fn run_payload_len() -> usize {
@@ -61,6 +85,74 @@ fn run_payload_len() -> usize {
     let mut buf = Vec::new();
     zero.encode(&mut buf);
     buf.len()
+}
+
+/// A typed quarantined-failure record: what the journal remembers about a
+/// job whose supervision gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalFailure {
+    /// Attempts made before the job was quarantined.
+    pub attempts: u32,
+    /// Why the final attempt failed.
+    pub cause: FailureCause,
+    /// The final failure's message.
+    pub message: String,
+}
+
+impl JournalFailure {
+    /// Payload encoding: attempts u32 | cause u8 | msg_len u32 | msg bytes.
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        self.attempts.encode(out);
+        match self.cause {
+            FailureCause::Panic => 0u8,
+            FailureCause::Deadline => 1u8,
+        }
+        .encode(out);
+        let msg = self.message.as_bytes();
+        (msg.len() as u32).encode(out);
+        out.extend_from_slice(msg);
+    }
+
+    /// Decodes a payload previously written by [`Self::encode_payload`].
+    /// Panic-free: the payload passed its entry checksum, so any internal
+    /// inconsistency is writer/reader disagreement reported as `Err`.
+    fn decode_payload(payload: &[u8]) -> Result<Self, String> {
+        if payload.len() < 9 {
+            return Err(format!(
+                "failure payload is {} bytes, shorter than its fixed fields",
+                payload.len()
+            ));
+        }
+        let mut r = SnapReader::new(payload);
+        let attempts: u32 = r.get();
+        let cause = match r.get::<u8>() {
+            0 => FailureCause::Panic,
+            1 => FailureCause::Deadline,
+            b => return Err(format!("unknown failure cause byte {b}")),
+        };
+        let msg_len: u32 = r.get();
+        if msg_len as usize != payload.len() - 9 {
+            return Err(format!(
+                "failure message length {msg_len} disagrees with the payload ({} bytes left)",
+                payload.len() - 9
+            ));
+        }
+        let message = String::from_utf8_lossy(r.take(msg_len as usize)).into_owned();
+        Ok(JournalFailure {
+            attempts,
+            cause,
+            message,
+        })
+    }
+}
+
+/// One intact journal entry, as replay returns it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// The job completed; its measured result.
+    Run(MeasuredRun),
+    /// The job was quarantined; the typed failure record.
+    Failed(JournalFailure),
 }
 
 /// Why a journal could not be loaded or matched to a matrix.
@@ -199,12 +291,36 @@ impl SweepJournal {
     /// the entry lands), or when `sweep::journal::torn` fires (simulating a
     /// crash mid-write: half the entry is written, then the panic).
     pub fn append(&self, job: usize, run: &MeasuredRun) -> std::io::Result<()> {
-        let mut entry = Vec::with_capacity(20 + run_payload_len());
-        (job as u64).encode(&mut entry);
-        let mut payload = Vec::new();
+        let mut payload = Vec::with_capacity(run_payload_len());
         run.encode(&mut payload);
+        self.append_entry(job, ENTRY_RUN, &payload)
+    }
+
+    /// Appends one quarantined job's typed failure entry and flushes it —
+    /// the journal-side record that lets `--resume` *skip* a poisoned job
+    /// instead of re-crashing on it.
+    ///
+    /// # Errors
+    ///
+    /// Any error writing the file (including an injected one from the
+    /// `sweep::journal::append` fail-point site).
+    ///
+    /// # Panics
+    ///
+    /// Same injected fail points as [`SweepJournal::append`].
+    pub fn append_failure(&self, job: usize, failure: &JournalFailure) -> std::io::Result<()> {
+        let mut payload = Vec::new();
+        failure.encode_payload(&mut payload);
+        self.append_entry(job, ENTRY_FAILED, &payload)
+    }
+
+    /// The shared append path: frame, checksum, fail points, write, flush.
+    fn append_entry(&self, job: usize, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+        let mut entry = Vec::with_capacity(ENTRY_PRELUDE + payload.len() + 8);
+        (job as u64).encode(&mut entry);
+        kind.encode(&mut entry);
         (payload.len() as u32).encode(&mut entry);
-        entry.extend_from_slice(&payload);
+        entry.extend_from_slice(payload);
         let mut h = Fnv64::new();
         h.write(&entry);
         h.finish().encode(&mut entry);
@@ -229,9 +345,10 @@ pub struct JournalReplay {
     pub fingerprint: u64,
     /// Flattened job count recorded in the header.
     pub jobs: u64,
-    /// Per-job completion state, indexed by job: `Some(run)` for journaled
-    /// jobs, `None` for jobs the interrupted sweep never finished.
-    pub runs: Vec<Option<MeasuredRun>>,
+    /// Per-job journaled state, indexed by job: `Some(entry)` for journaled
+    /// jobs (completed or quarantined), `None` for jobs the interrupted
+    /// sweep never finished.
+    pub entries: Vec<Option<JournalEntry>>,
     /// Whether a torn final entry was detected (and will be truncated away
     /// by [`SweepJournal::resume`]).
     pub torn_tail: bool,
@@ -283,34 +400,60 @@ impl JournalReplay {
         let jobs: u64 = r.get();
 
         let payload_len = run_payload_len();
-        let entry_len = 8 + 4 + payload_len + 8;
-        let mut runs: Vec<Option<MeasuredRun>> = vec![None; jobs as usize];
+        let mut entries: Vec<Option<JournalEntry>> = vec![None; jobs as usize];
         let mut pos = HEADER_LEN as usize;
         let mut torn_tail = false;
         while pos < bytes.len() {
             let rest = &bytes[pos..];
+            if rest.len() < ENTRY_PRELUDE {
+                torn_tail = true;
+                break;
+            }
+            let mut r = SnapReader::new(rest);
+            let job: u64 = r.get();
+            let kind: u8 = r.get();
+            let len: u32 = r.get();
+            // Sanity-check the length *before* trusting it: a run payload
+            // has exactly one size, and a failure payload is bounded. A
+            // wrong length with all its bytes present cannot be a torn
+            // tail — it means the writer and reader disagree on the shape.
+            // (Truncation alone can never manufacture a bad length: the
+            // prelude bytes are intact prefix bytes.)
+            let expected = match kind {
+                ENTRY_RUN if len as usize == payload_len => payload_len,
+                ENTRY_RUN => {
+                    return Err(JournalError::Corrupt {
+                        offset: (pos + 9) as u64,
+                        message: format!(
+                            "run entry payload length {len} is not the expected {payload_len}"
+                        ),
+                    });
+                }
+                ENTRY_FAILED if (len as usize) <= MAX_FAILURE_PAYLOAD => len as usize,
+                ENTRY_FAILED => {
+                    return Err(JournalError::Corrupt {
+                        offset: (pos + 9) as u64,
+                        message: format!(
+                            "failure entry payload length {len} exceeds the \
+                             {MAX_FAILURE_PAYLOAD}-byte cap"
+                        ),
+                    });
+                }
+                other => {
+                    return Err(JournalError::Corrupt {
+                        offset: (pos + 8) as u64,
+                        message: format!("unknown entry kind {other}"),
+                    });
+                }
+            };
+            let entry_len = ENTRY_PRELUDE + expected + 8;
             if rest.len() < entry_len {
                 torn_tail = true;
                 break;
             }
-            let entry = &rest[..entry_len];
             let mut h = Fnv64::new();
-            h.write(&entry[..entry_len - 8]);
-            let mut r = SnapReader::new(entry);
-            let job: u64 = r.get();
-            let len: u32 = r.get();
-            if len as usize != payload_len {
-                // A wrong length cannot be a torn tail (the bytes are all
-                // there); it means the writer and reader disagree on the
-                // payload shape.
-                return Err(JournalError::Corrupt {
-                    offset: (pos + 8) as u64,
-                    message: format!(
-                        "entry payload length {len} is not the expected {payload_len}"
-                    ),
-                });
-            }
-            let run: MeasuredRun = r.get();
+            h.write(&rest[..entry_len - 8]);
+            let payload = r.take(expected);
             let stored: u64 = r.get();
             if stored != h.finish() {
                 // Checksum damage: tolerated as a torn tail (a crash
@@ -326,21 +469,46 @@ impl JournalReplay {
                     message: format!("entry names job {job} of a {jobs}-job sweep"),
                 });
             }
-            runs[job as usize] = Some(run);
+            let entry = match kind {
+                ENTRY_RUN => JournalEntry::Run(MeasuredRun::decode(&mut SnapReader::new(payload))),
+                _ => JournalEntry::Failed(JournalFailure::decode_payload(payload).map_err(
+                    |message| JournalError::Corrupt {
+                        offset: (pos + ENTRY_PRELUDE) as u64,
+                        message,
+                    },
+                )?),
+            };
+            entries[job as usize] = Some(entry);
             pos += entry_len;
         }
         Ok(JournalReplay {
             fingerprint,
             jobs,
-            runs,
+            entries,
             torn_tail,
             valid_len: pos as u64,
         })
     }
 
-    /// Journaled (intact) entries.
+    /// Journaled (intact) entries, completed and quarantined alike.
     pub fn completed(&self) -> usize {
-        self.runs.iter().filter(|r| r.is_some()).count()
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Journaled quarantined failures.
+    pub fn failed(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, Some(JournalEntry::Failed(_))))
+            .count()
+    }
+
+    /// The journaled run for `job`, if it completed successfully.
+    pub fn run(&self, job: usize) -> Option<&MeasuredRun> {
+        match self.entries.get(job)? {
+            Some(JournalEntry::Run(run)) => Some(run),
+            _ => None,
+        }
     }
 }
 
@@ -392,11 +560,158 @@ mod tests {
         assert_eq!(replay.jobs, 5);
         assert_eq!(replay.completed(), 3);
         assert!(!replay.torn_tail);
-        assert_eq!(replay.runs[0], Some(sample_run(0.0)));
-        assert_eq!(replay.runs[1], None);
-        assert_eq!(replay.runs[3], Some(sample_run(3.0)));
-        assert_eq!(replay.runs[4], Some(sample_run(4.0)));
+        assert_eq!(replay.run(0), Some(&sample_run(0.0)));
+        assert_eq!(replay.entries[1], None);
+        assert_eq!(replay.run(3), Some(&sample_run(3.0)));
+        assert_eq!(replay.run(4), Some(&sample_run(4.0)));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failure_entries_roundtrip_with_their_cause() {
+        let path = temp_path("failure");
+        let journal = SweepJournal::create(&path, 0xF00D, 4).unwrap();
+        journal.append(0, &sample_run(0.0)).unwrap();
+        journal
+            .append_failure(
+                1,
+                &JournalFailure {
+                    attempts: 3,
+                    cause: FailureCause::Panic,
+                    message: "member OLTP DB2 exploded".to_string(),
+                },
+            )
+            .unwrap();
+        journal
+            .append_failure(
+                2,
+                &JournalFailure {
+                    attempts: 1,
+                    cause: FailureCause::Deadline,
+                    message: String::new(),
+                },
+            )
+            .unwrap();
+        drop(journal);
+
+        let replay = JournalReplay::load(&path).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.completed(), 3);
+        assert_eq!(replay.failed(), 2);
+        assert_eq!(replay.run(0), Some(&sample_run(0.0)));
+        assert_eq!(replay.run(1), None, "a failed job has no run");
+        match &replay.entries[1] {
+            Some(JournalEntry::Failed(f)) => {
+                assert_eq!(f.attempts, 3);
+                assert_eq!(f.cause, FailureCause::Panic);
+                assert_eq!(f.message, "member OLTP DB2 exploded");
+            }
+            other => panic!("want Failed, got {other:?}"),
+        }
+        match &replay.entries[2] {
+            Some(JournalEntry::Failed(f)) => {
+                assert_eq!(f.cause, FailureCause::Deadline);
+                assert_eq!(f.message, "");
+            }
+            other => panic!("want Failed, got {other:?}"),
+        }
+        assert_eq!(replay.entries[3], None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_replays_a_prefix_or_rejects_cleanly() {
+        // The torn-tail property, exhaustively: whatever byte a crash cuts
+        // the file at, resume must either replay an intact prefix of the
+        // journaled entries or reject with a typed error — never panic,
+        // never fabricate an entry that was not fully written.
+        let path = temp_path("every-offset");
+        let journal = SweepJournal::create(&path, 0xBEEF, 6).unwrap();
+        journal.append(0, &sample_run(0.0)).unwrap();
+        journal
+            .append_failure(
+                1,
+                &JournalFailure {
+                    attempts: 2,
+                    cause: FailureCause::Panic,
+                    message: "poisoned".to_string(),
+                },
+            )
+            .unwrap();
+        journal.append(2, &sample_run(2.0)).unwrap();
+        drop(journal);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        // The entries the full journal holds, as ground truth.
+        let expected = [
+            JournalEntry::Run(sample_run(0.0)),
+            JournalEntry::Failed(JournalFailure {
+                attempts: 2,
+                cause: FailureCause::Panic,
+                message: "poisoned".to_string(),
+            }),
+            JournalEntry::Run(sample_run(2.0)),
+        ];
+
+        let trunc_path = temp_path("every-offset-trunc");
+        for cut in 0..=full.len() {
+            std::fs::write(&trunc_path, &full[..cut]).unwrap();
+            let outcome = std::panic::catch_unwind(|| JournalReplay::load(&trunc_path));
+            let result = outcome
+                .unwrap_or_else(|_| panic!("replay panicked on a journal cut at byte {cut}"));
+            match result {
+                Ok(replay) => {
+                    assert!(
+                        cut >= HEADER_LEN as usize,
+                        "a cut inside the header (byte {cut}) must be rejected"
+                    );
+                    // Every surviving entry must be one the full journal
+                    // wrote, and they must form a prefix in file order:
+                    // entry k survives only if its whole frame fits.
+                    for (job, entry) in replay.entries.iter().enumerate() {
+                        match entry {
+                            None => {}
+                            Some(e) if job < expected.len() => assert_eq!(
+                                e, &expected[job],
+                                "cut at byte {cut} fabricated a different entry for job {job}"
+                            ),
+                            Some(e) => {
+                                panic!("cut at byte {cut} fabricated job {job}: {e:?}")
+                            }
+                        }
+                    }
+                    let survived = replay.completed();
+                    assert!(
+                        (replay.valid_len as usize) <= cut,
+                        "valid_len must not pass the cut"
+                    );
+                    assert_eq!(
+                        replay.torn_tail,
+                        (replay.valid_len as usize) < cut,
+                        "bytes past the last intact entry must be flagged torn (cut {cut})"
+                    );
+                    // Prefix property: entries survive strictly in file
+                    // order 0, 1, 2 — a later entry never outlives an
+                    // earlier one under pure truncation.
+                    for job in 0..survived {
+                        assert!(
+                            replay.entries[job].is_some(),
+                            "cut at byte {cut}: entry {job} missing from a {survived}-entry prefix"
+                        );
+                    }
+                }
+                Err(JournalError::Corrupt { .. }) => {
+                    assert!(
+                        cut < HEADER_LEN as usize,
+                        "an intact header with truncated entries (cut {cut}) must replay, \
+                         not reject"
+                    );
+                }
+                Err(other) => panic!("cut at byte {cut}: unexpected error {other}"),
+            }
+        }
+        std::fs::remove_file(&trunc_path).unwrap();
     }
 
     #[test]

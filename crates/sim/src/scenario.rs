@@ -29,10 +29,13 @@ use crate::design::LlcDesign;
 use crate::engine::{ExperimentEngine, JobFailure};
 use crate::experiment::ExperimentConfig;
 use crate::fused::{group_indices, run_group_forked};
-use crate::journal::{JournalError, JournalReplay, SweepJournal, JOURNAL_VERSION};
+use crate::journal::{
+    JournalEntry, JournalError, JournalFailure, JournalReplay, SweepJournal, JOURNAL_VERSION,
+};
 use crate::simulator::MeasuredRun;
 use crate::snapshot::{SnapshotArena, SnapshotKey};
 use rnuca_types::config::ConfigPoint;
+use rnuca_types::retry::RetryPolicy;
 use rnuca_types::{ConfigError, Fnv64};
 use rnuca_warehouse::{AppendSummary, RowKind, RunRecord, Warehouse};
 use rnuca_workloads::{TraceArena, TraceKey, WorkloadSpec};
@@ -414,7 +417,19 @@ impl ScenarioMatrix {
                 .into());
             }
             let journal = SweepJournal::resume(path, &replay).map_err(JournalError::Io)?;
-            (journal, replay.runs)
+            // This is the fail-fast path: a journaled *failure* entry does
+            // not satisfy the job (there is no run to replay), so the job
+            // re-runs — and, being deterministic, re-raises its panic. Use
+            // [`Self::run_supervised_journaled`] to skip quarantined jobs.
+            let runs = replay
+                .entries
+                .into_iter()
+                .map(|entry| match entry {
+                    Some(JournalEntry::Run(run)) => Some(run),
+                    _ => None,
+                })
+                .collect();
+            (journal, runs)
         } else {
             let journal = SweepJournal::create(path, fingerprint, jobs.len() as u64)
                 .map_err(JournalError::Io)?;
@@ -467,6 +482,200 @@ impl ScenarioMatrix {
         Ok((sweep, summary, resumed))
     }
 
+    /// [`Self::run_supervised_forked`] composed with the journal — the
+    /// crash-safe *and* panic-safe sweep.
+    ///
+    /// Before this composition existed, journaled sweeps were fail-fast: a
+    /// single poisoned member killed the whole sweep, and `--resume` would
+    /// deterministically re-crash on the same job forever. Here every
+    /// completed job journals a run entry as before, while a job whose
+    /// every attempt fails journals a *typed failure entry* — so resume
+    /// replays completed jobs as results, replays quarantined jobs as
+    /// failures (skipping them instead of re-crashing), and re-runs only
+    /// jobs with no entry at all.
+    ///
+    /// Fused groups are attempted first; members of failed groups re-run
+    /// solo under `policy` — its retry budget and seeded backoff (the pause
+    /// schedule derives from the matrix seed, so it is identical for every
+    /// worker count). The policy's `deadline` is not enforced on this
+    /// borrow-based path; the experiment service's runner enforces
+    /// deadlines at the group level via
+    /// [`ExperimentEngine::run_supervised_detached`].
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Config`] for invalid matrices; [`SweepError::Journal`]
+    /// when the journal cannot be created, loaded, appended, or does not
+    /// belong to this matrix.
+    pub fn run_supervised_journaled(
+        &self,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+        snapshots: &SnapshotArena,
+        path: &Path,
+        resume: bool,
+        policy: &RetryPolicy,
+    ) -> Result<(QuarantinedSweep, ResumeSummary), SweepError> {
+        let jobs = self.jobs()?;
+        let fingerprint = self.fingerprint();
+        let (journal, journaled) = if resume {
+            let replay = JournalReplay::load(path)?;
+            if replay.fingerprint != fingerprint {
+                return Err(JournalError::FingerprintMismatch {
+                    found: replay.fingerprint,
+                    expected: fingerprint,
+                }
+                .into());
+            }
+            if replay.jobs as usize != jobs.len() {
+                return Err(JournalError::JobCountMismatch {
+                    found: replay.jobs,
+                    expected: jobs.len() as u64,
+                }
+                .into());
+            }
+            let journal = SweepJournal::resume(path, &replay).map_err(JournalError::Io)?;
+            (journal, replay.entries)
+        } else {
+            let journal = SweepJournal::create(path, fingerprint, jobs.len() as u64)
+                .map_err(JournalError::Io)?;
+            (journal, vec![None; jobs.len()])
+        };
+        let replayed = journaled.iter().filter(|e| e.is_some()).count();
+
+        let mut results: Vec<Option<Result<ScenarioResult, JobFailure>>> =
+            jobs.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, entry) in journaled.into_iter().enumerate() {
+            match entry {
+                Some(JournalEntry::Run(run)) => {
+                    results[i] = Some(Ok(result_from(&jobs[i], run)));
+                }
+                Some(JournalEntry::Failed(f)) => {
+                    results[i] = Some(Err(JobFailure {
+                        job: i,
+                        attempts: f.attempts,
+                        cause: f.cause,
+                        message: f.message,
+                    }));
+                }
+                None => pending.push(i),
+            }
+        }
+
+        self.prepare_arenas(engine, arena, snapshots, &jobs, &pending);
+        let groups = group_indices(&pending, |&i| {
+            TraceKey::new(&jobs[i].workload, self.cfg.seed)
+        });
+        let group_outcomes = engine.run_supervised(&groups, 0, |_, (_, indices)| {
+            let members: Vec<(&WorkloadSpec, LlcDesign)> = indices
+                .iter()
+                .map(|&p| (&jobs[pending[p]].workload, jobs[pending[p]].design))
+                .collect();
+            let runs = run_group_forked(&members, &self.cfg, arena, snapshots);
+            for (&p, run) in indices.iter().zip(&runs) {
+                journal
+                    .append(pending[p], run)
+                    .unwrap_or_else(|e| panic!("journal append failed: {e}"));
+            }
+            runs
+        });
+        let mut solo_jobs: Vec<usize> = Vec::new();
+        for ((_, indices), outcome) in groups.iter().zip(group_outcomes) {
+            match outcome {
+                Ok(runs) => {
+                    for (&p, run) in indices.iter().zip(runs) {
+                        results[pending[p]] = Some(Ok(result_from(&jobs[pending[p]], run)));
+                    }
+                }
+                // The panic poisoned the whole fused pass (and nothing was
+                // journaled for it); every member re-runs solo below.
+                Err(_) => solo_jobs.extend(indices.iter().map(|&p| pending[p])),
+            }
+        }
+        let solo_outcomes =
+            engine.run_supervised_policy(&solo_jobs, self.cfg.seed, policy, |_, &i| {
+                let members = [(&jobs[i].workload, jobs[i].design)];
+                let run = run_group_forked(&members, &self.cfg, arena, snapshots)
+                    .pop()
+                    .expect("a one-member group yields one run");
+                journal
+                    .append(i, &run)
+                    .unwrap_or_else(|e| panic!("journal append failed: {e}"));
+                run
+            });
+        for (&i, outcome) in solo_jobs.iter().zip(solo_outcomes) {
+            results[i] = Some(match outcome {
+                Ok(run) => Ok(result_from(&jobs[i], run)),
+                Err(failure) => {
+                    let failure = JobFailure { job: i, ..failure };
+                    journal
+                        .append_failure(
+                            i,
+                            &JournalFailure {
+                                attempts: failure.attempts,
+                                cause: failure.cause,
+                                message: failure.message.clone(),
+                            },
+                        )
+                        .map_err(JournalError::Io)?;
+                    Err(failure)
+                }
+            });
+        }
+        Ok((
+            QuarantinedSweep {
+                cfg: self.cfg,
+                results: results
+                    .into_iter()
+                    .map(|r| r.expect("every job is replayed, scattered, or re-run solo"))
+                    .collect(),
+            },
+            ResumeSummary {
+                replayed,
+                ran: jobs.len() - replayed,
+            },
+        ))
+    }
+
+    /// [`Self::run_supervised_journaled`], additionally appending one row
+    /// per job into `store`: a `kind=sweep` row for each completed job and
+    /// a `kind=failed` row (failure message in the `failure` column) for
+    /// each quarantined one, so `figures query kind=failed` lists exactly
+    /// what a sweep lost instead of failures silently vanishing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run_supervised_journaled`].
+    // One parameter per orthogonal concern (engine, two arenas, journal
+    // location + resume, policy, store); bundling them into a struct would
+    // only move the argument list behind a builder.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_supervised_into_journaled(
+        &self,
+        engine: &ExperimentEngine,
+        arena: &TraceArena,
+        snapshots: &SnapshotArena,
+        path: &Path,
+        resume: bool,
+        policy: &RetryPolicy,
+        store: &Warehouse,
+    ) -> Result<(QuarantinedSweep, AppendSummary, ResumeSummary), SweepError> {
+        let (sweep, resumed) =
+            self.run_supervised_journaled(engine, arena, snapshots, path, resume, policy)?;
+        let jobs = self.jobs()?;
+        let records: Vec<RunRecord> = jobs
+            .iter()
+            .zip(&sweep.results)
+            .map(|(job, result)| match result {
+                Ok(result) => sweep_record(&self.cfg, &job.workload, result),
+                Err(failure) => failed_record(&self.cfg, job, failure),
+            })
+            .collect();
+        let summary = store.append_all(&records);
+        Ok((sweep, summary, resumed))
+    }
+
     /// [`Self::run_forked`] with per-job panic quarantine: one poisoned
     /// scenario yields a [`JobFailure`] in its slot while every other job
     /// completes.
@@ -489,7 +698,7 @@ impl ScenarioMatrix {
         retries: u32,
     ) -> Result<QuarantinedSweep, ConfigError> {
         let jobs = self.jobs()?;
-        self.populate_arenas(
+        self.prepare_arenas(
             engine,
             arena,
             snapshots,
@@ -543,7 +752,11 @@ impl ScenarioMatrix {
 
     /// Materializes the streams and warmed checkpoints the jobs in
     /// `pending` need, each unique one exactly once, in parallel.
-    fn populate_arenas(
+    ///
+    /// Public so external drivers (the experiment service's runner) can
+    /// warm the arenas up front and then orchestrate group execution
+    /// themselves.
+    pub fn prepare_arenas(
         &self,
         engine: &ExperimentEngine,
         arena: &TraceArena,
@@ -601,7 +814,7 @@ impl ScenarioMatrix {
         let pending: Vec<usize> = (0..jobs.len())
             .filter(|&i| completed[i].is_none())
             .collect();
-        self.populate_arenas(engine, arena, snapshots, jobs, &pending);
+        self.prepare_arenas(engine, arena, snapshots, jobs, &pending);
         let groups = group_indices(&pending, |&i| {
             TraceKey::new(&jobs[i].workload, self.cfg.seed)
         });
@@ -668,7 +881,11 @@ impl ScenarioMatrix {
 }
 
 /// Labels one job's measured run with its resolved configuration.
-fn result_from(job: &ScenarioJob, run: MeasuredRun) -> ScenarioResult {
+///
+/// Public so external drivers (the experiment service's runner) can turn
+/// journal-replayed and freshly-measured runs into the same results a
+/// library sweep produces.
+pub fn result_from(job: &ScenarioJob, run: MeasuredRun) -> ScenarioResult {
     let system = job.workload.system_config();
     ScenarioResult {
         workload: job.workload.name.clone(),
@@ -681,7 +898,15 @@ fn result_from(job: &ScenarioJob, run: MeasuredRun) -> ScenarioResult {
 }
 
 /// One sweep result as a warehouse row.
-fn sweep_record(cfg: &ExperimentConfig, spec: &WorkloadSpec, result: &ScenarioResult) -> RunRecord {
+///
+/// Public so external drivers (the experiment service's runner) can build
+/// the exact rows the `run_*_into` methods would, then batch them into a
+/// single [`Warehouse::append_all`] call of their own.
+pub fn sweep_record(
+    cfg: &ExperimentConfig,
+    spec: &WorkloadSpec,
+    result: &ScenarioResult,
+) -> RunRecord {
     let mut r = RunRecord::new(
         RowKind::Sweep,
         cfg.seed as i64,
@@ -718,6 +943,45 @@ fn sweep_record(cfg: &ExperimentConfig, spec: &WorkloadSpec, result: &ScenarioRe
     r
 }
 
+/// One quarantined job as a `kind=failed` warehouse row.
+///
+/// Carries the same identity columns a sweep row would (workload, design,
+/// geometry, seed, schema, fingerprint) so the failure is attributable to a
+/// precise scenario, plus the failure summary in the `failure` column. No
+/// metric columns are set — there is no run to report. Rows key on identity
+/// *and* the failure text: re-ingesting the same failure deduplicates,
+/// while the same scenario failing differently later adds a new row.
+pub fn failed_record(cfg: &ExperimentConfig, job: &ScenarioJob, failure: &JobFailure) -> RunRecord {
+    let mut r = RunRecord::new(
+        RowKind::Failed,
+        cfg.seed as i64,
+        SWEEP_SCHEMA_VERSION as i64,
+        cfg.label(),
+    );
+    let mut h = Fnv64::new();
+    h.write(format!("{:?}", job.workload).as_bytes());
+    r.fingerprint = h.finish();
+    let system = job.workload.system_config();
+    r.workload = Some(job.workload.name.clone());
+    r.design = Some(job.design.letter().to_string());
+    r.letter = Some(job.design.letter().to_string());
+    r.cores = Some(system.num_cores as i64);
+    r.slice_kb = Some((system.l2_slice.geometry.capacity_bytes / 1024) as i64);
+    r.cluster = match job.design {
+        LlcDesign::RNuca { instr_cluster_size } => Some(instr_cluster_size as i64),
+        _ => None,
+    };
+    r.refs = Some(cfg.total_refs() as i64);
+    r.failure = Some(format!(
+        "{} after {} attempt{}: {}",
+        failure.cause,
+        failure.attempts,
+        if failure.attempts == 1 { "" } else { "s" },
+        failure.message
+    ));
+    r
+}
+
 impl ScenarioSweep {
     /// Serialises the sweep as a JSON document.
     ///
@@ -734,33 +998,8 @@ impl ScenarioSweep {
         ));
         out.push_str("},\n  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
-            let cluster = match r.design {
-                LlcDesign::RNuca { instr_cluster_size } => instr_cluster_size.to_string(),
-                _ => "null".to_string(),
-            };
-            let b = &r.run.cpi.breakdown;
-            out.push_str(&format!(
-                "    {{\"workload\": {}, \"design\": {}, \"letter\": \"{}\", \
-                 \"cores\": {}, \"slice_kb\": {}, \"cluster\": {}, \
-                 \"total_cpi\": {}, \"cpi\": {{\"busy\": {}, \"l1_to_l1\": {}, \"l2\": {}, \
-                 \"off_chip\": {}, \"other\": {}, \"reclassification\": {}}}, \
-                 \"off_chip_rate\": {}, \"l1_to_l1_rate\": {}}}",
-                json_string(&r.workload),
-                json_string(&r.design.to_string()),
-                r.design.letter(),
-                r.cores,
-                r.slice_kb,
-                cluster,
-                r.run.total_cpi(),
-                b.busy,
-                b.l1_to_l1,
-                b.l2,
-                b.off_chip,
-                b.other,
-                b.reclassification,
-                r.run.off_chip_rate,
-                r.run.l1_to_l1_rate,
-            ));
+            out.push_str("    ");
+            out.push_str(&result_json(r));
             out.push_str(if i + 1 < self.results.len() {
                 ",\n"
             } else {
@@ -774,6 +1013,82 @@ impl ScenarioSweep {
     /// The results for one workload, in job order.
     pub fn workload(&self, name: &str) -> Vec<&ScenarioResult> {
         self.results.iter().filter(|r| r.workload == name).collect()
+    }
+}
+
+/// One scenario result as a JSON object (shared by both sweep documents).
+fn result_json(r: &ScenarioResult) -> String {
+    let cluster = match r.design {
+        LlcDesign::RNuca { instr_cluster_size } => instr_cluster_size.to_string(),
+        _ => "null".to_string(),
+    };
+    let b = &r.run.cpi.breakdown;
+    format!(
+        "{{\"workload\": {}, \"design\": {}, \"letter\": \"{}\", \
+         \"cores\": {}, \"slice_kb\": {}, \"cluster\": {}, \
+         \"total_cpi\": {}, \"cpi\": {{\"busy\": {}, \"l1_to_l1\": {}, \"l2\": {}, \
+         \"off_chip\": {}, \"other\": {}, \"reclassification\": {}}}, \
+         \"off_chip_rate\": {}, \"l1_to_l1_rate\": {}}}",
+        json_string(&r.workload),
+        json_string(&r.design.to_string()),
+        r.design.letter(),
+        r.cores,
+        r.slice_kb,
+        cluster,
+        r.run.total_cpi(),
+        b.busy,
+        b.l1_to_l1,
+        b.l2,
+        b.off_chip,
+        b.other,
+        b.reclassification,
+        r.run.off_chip_rate,
+        r.run.l1_to_l1_rate,
+    )
+}
+
+impl QuarantinedSweep {
+    /// Serialises the supervised sweep as a JSON document.
+    ///
+    /// Same deterministic shape as [`ScenarioSweep::to_json`], except each
+    /// slot in `results` is either a result object or `null` (the job was
+    /// quarantined), and a `failures` array lists every quarantined job
+    /// with its index, attempt count, cause, and panic message — failures
+    /// appear in the output instead of silently vanishing.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.results.len() * 256);
+        out.push_str("{\n  \"config\": {");
+        out.push_str(&format!(
+            "\"warmup_refs\": {}, \"measured_refs\": {}, \"seed\": {}, \"asr_best_of\": {}",
+            self.cfg.warmup_refs, self.cfg.measured_refs, self.cfg.seed, self.cfg.asr_best_of
+        ));
+        out.push_str("},\n  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    ");
+            match r {
+                Ok(r) => out.push_str(&result_json(r)),
+                Err(_) => out.push_str("null"),
+            }
+            out.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"failures\": [\n");
+        let failures = self.failures();
+        for (i, f) in failures.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"job\": {}, \"attempts\": {}, \"cause\": \"{}\", \"message\": {}}}",
+                f.job,
+                f.attempts,
+                f.cause,
+                json_string(&f.message),
+            ));
+            out.push_str(if i + 1 < failures.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 }
 

@@ -9,9 +9,11 @@
 //! the library stay fault-free).
 
 use rnuca_sim::{
-    ExperimentConfig, ExperimentEngine, JournalError, ScenarioMatrix, SnapshotArena, SweepError,
+    ExperimentConfig, ExperimentEngine, FailureCause, JournalError, ScenarioMatrix, SnapshotArena,
+    SweepError,
 };
 use rnuca_types::failpoint::{self, FailAction, FailSpec};
+use rnuca_types::RetryPolicy;
 use rnuca_warehouse::Warehouse;
 use rnuca_workloads::{TraceArena, WorkloadSpec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -191,4 +193,79 @@ fn an_injected_panic_quarantines_exactly_that_job() {
             "job {i}: quarantine must not perturb healthy results"
         );
     }
+}
+
+#[test]
+fn a_journaled_supervised_sweep_quarantines_and_resume_skips_the_failure() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let m = chaos_matrix();
+    let engine = ExperimentEngine::with_workers(2);
+    let arena = TraceArena::new();
+    let snapshots = SnapshotArena::new();
+    let path = journal_path("supervised");
+    let policy = RetryPolicy::immediate(1);
+
+    // First pass: job 0's member site panics on every attempt, so it ends
+    // up quarantined — and journaled as a typed failure entry — while the
+    // other three jobs complete and journal their runs.
+    let store = Warehouse::new();
+    let (sweep, summary, resumed) = {
+        let site = "sim::member::OLTP DB2::shared::16c";
+        let _guard = failpoint::arm(&[FailSpec::always(site, FailAction::Panic)]);
+        m.run_supervised_into_journaled(&engine, &arena, &snapshots, &path, false, &policy, &store)
+            .expect("a quarantined member must not abort the sweep")
+    };
+    assert_eq!((resumed.replayed, resumed.ran), (0, 4));
+    assert_eq!(sweep.completed(), 3);
+    let failures = sweep.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].job, 0);
+    assert_eq!(failures[0].attempts, 2, "one solo attempt plus one retry");
+    assert_eq!(failures[0].cause, FailureCause::Panic);
+    assert_eq!(summary.added, 4, "three sweep rows plus one failed row");
+    let json = sweep.to_json();
+    assert!(json.contains("\"failures\": ["));
+    assert!(json.contains("\"cause\": \"panic\""));
+
+    // The failure surfaces as a queryable `kind=failed` row.
+    let out = store
+        .query("kind=failed show workload, design, failure")
+        .expect("clean query");
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0][0].to_string(), "OLTP DB2");
+    assert_eq!(out.rows[0][1].to_string(), "S");
+    let failure_text = out.rows[0][2].to_string();
+    assert!(
+        failure_text.starts_with("panic after 2 attempts:"),
+        "failure column carries the typed summary, got: {failure_text}"
+    );
+
+    // Resume with the fail point disarmed: the quarantined job is *skipped*
+    // (replayed as a failure, not re-run — even though it would now
+    // succeed), and the rebuilt warehouse is byte-identical.
+    let resumed_store = Warehouse::new();
+    let (resumed_sweep, resumed_summary, resumed2) = m
+        .run_supervised_into_journaled(
+            &engine,
+            &arena,
+            &snapshots,
+            &path,
+            true,
+            &policy,
+            &resumed_store,
+        )
+        .expect("resume must succeed");
+    assert_eq!(
+        (resumed2.replayed, resumed2.ran),
+        (4, 0),
+        "every entry — including the failure — replays from the journal"
+    );
+    assert_eq!(resumed_sweep, sweep, "resume must not re-run the failure");
+    assert_eq!(resumed_summary.added, 4);
+    assert_eq!(
+        resumed_store.to_bytes(),
+        store.to_bytes(),
+        "resumed warehouse is not byte-identical"
+    );
+    std::fs::remove_file(&path).ok();
 }

@@ -47,6 +47,10 @@ pub enum FailAction {
     /// Return an injected [`std::io::Error`] from [`io_point`] sites.
     /// [`panic_point`] sites treat this as [`FailAction::Panic`].
     Io,
+    /// Abort the whole process ([`std::process::abort`]): SIGABRT, no
+    /// destructors, no unwinding — the deterministic stand-in for
+    /// `kill -9` at a chosen site hit. Any site kind honours it.
+    Abort,
 }
 
 impl fmt::Display for FailAction {
@@ -54,6 +58,7 @@ impl fmt::Display for FailAction {
         match self {
             FailAction::Panic => f.write_str("panic"),
             FailAction::Io => f.write_str("io"),
+            FailAction::Abort => f.write_str("abort"),
         }
     }
 }
@@ -110,7 +115,7 @@ impl FailSpec {
     ///
     /// ```text
     /// spec    := site '=' action '@' trigger
-    /// action  := 'panic' | 'io'
+    /// action  := 'panic' | 'io' | 'abort'
     /// trigger := N | N '+' COUNT | 'seed:' SEED '%' MAX | 'always'
     /// ```
     ///
@@ -130,6 +135,7 @@ impl FailSpec {
         let action = match action {
             "panic" => FailAction::Panic,
             "io" => FailAction::Io,
+            "abort" => FailAction::Abort,
             other => return Err(format!("unknown fail-point action `{other}`")),
         };
         if trigger == "always" {
@@ -334,21 +340,32 @@ mod inactive {
 #[cfg(not(feature = "failpoints"))]
 pub use inactive::{arm, fire, hits, FailGuard, ENV_VAR};
 
+/// Aborts the process at a fired [`FailAction::Abort`] site, announcing
+/// the site on stderr first so the chaos harness can confirm *which*
+/// injected kill landed.
+fn abort_at(site: &str) -> ! {
+    eprintln!("fail point `{site}` triggered (injected abort)");
+    std::process::abort()
+}
+
 /// A site that can only fail by panicking. Panics with a message naming
-/// `site` when the site's armed trigger fires (any action counts as a
-/// panic here); a no-op otherwise and in builds without the `failpoints`
-/// feature.
+/// `site` when the site's armed trigger fires ([`FailAction::Io`] counts
+/// as a panic here; [`FailAction::Abort`] aborts the process); a no-op
+/// otherwise and in builds without the `failpoints` feature.
 #[inline(always)]
 pub fn panic_point(site: &str) {
-    if fire(site).is_some() {
-        panic!("fail point `{site}` triggered (injected)");
+    match fire(site) {
+        None => {}
+        Some(FailAction::Abort) => abort_at(site),
+        Some(_) => panic!("fail point `{site}` triggered (injected)"),
     }
 }
 
 /// A site on an I/O path. When the armed trigger fires with
 /// [`FailAction::Io`], returns an injected [`std::io::Error`] naming the
-/// site; with [`FailAction::Panic`], panics. A no-op `Ok(())` otherwise
-/// and in builds without the `failpoints` feature.
+/// site; with [`FailAction::Panic`], panics; with [`FailAction::Abort`],
+/// aborts the process. A no-op `Ok(())` otherwise and in builds without
+/// the `failpoints` feature.
 ///
 /// # Errors
 ///
@@ -361,15 +378,21 @@ pub fn io_point(site: &str) -> std::io::Result<()> {
             "fail point `{site}` triggered (injected i/o error)"
         ))),
         Some(FailAction::Panic) => panic!("fail point `{site}` triggered (injected)"),
+        Some(FailAction::Abort) => abort_at(site),
     }
 }
 
 /// True when `site`'s armed trigger fires on this hit — for sites whose
-/// failure mode is bespoke (e.g. "write only half the bytes"). Always
+/// failure mode is bespoke (e.g. "write only half the bytes"). An armed
+/// [`FailAction::Abort`] aborts the process instead of returning. Always
 /// false without the `failpoints` feature.
 #[inline(always)]
 pub fn triggered(site: &str) -> bool {
-    fire(site).is_some()
+    match fire(site) {
+        None => false,
+        Some(FailAction::Abort) => abort_at(site),
+        Some(_) => true,
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +413,11 @@ mod tests {
             FailSpec::parse("x=panic@always").unwrap(),
             FailSpec::always("x", FailAction::Panic)
         );
+        assert_eq!(
+            FailSpec::parse("x=abort@2").unwrap(),
+            FailSpec::nth("x", FailAction::Abort, 2)
+        );
+        assert_eq!(FailAction::Abort.to_string(), "abort");
         let seeded = FailSpec::parse("x=panic@seed:42%10").unwrap();
         assert_eq!(seeded, FailSpec::seeded("x", FailAction::Panic, 42, 10));
         assert!((1..=10).contains(&seeded.from));

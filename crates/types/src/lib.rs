@@ -35,6 +35,7 @@ pub mod ids;
 pub mod index_map;
 pub mod latency;
 pub mod os_hint;
+pub mod retry;
 pub mod snap;
 
 pub use access::{AccessClass, AccessKind, MemoryAccess};
@@ -47,4 +48,5 @@ pub use fingerprint::Fnv64;
 pub use ids::{CoreId, MemCtrlId, RotationalId, TileId};
 pub use index_map::U64Map;
 pub use latency::Cycles;
+pub use retry::{BackoffConfig, RetryPolicy};
 pub use snap::{Snap, SnapReader};

@@ -1,0 +1,213 @@
+//! Retry policies for supervised experiment execution: deterministic
+//! seeded-jitter exponential backoff and per-attempt wall-clock deadlines.
+//!
+//! The experiment engine's supervised runs retry quarantined jobs; naive
+//! immediate retries hammer a transiently-failing resource (a full disk, a
+//! contended spool directory) and make failure timelines impossible to
+//! reason about. [`BackoffConfig`] computes the pause before each retry as
+//! capped exponential growth with *seeded* jitter: the jitter is a pure
+//! function of `(seed, job, attempt)`, so a given experiment seed always
+//! produces the same delay schedule for a given job — independent of
+//! worker count, thread interleaving, or wall-clock time. That keeps the
+//! engine's determinism story intact: retries change *when* a job runs,
+//! never *what* it computes, and the delays themselves are reproducible in
+//! tests down to the microsecond.
+//!
+//! [`RetryPolicy`] bundles the retry budget, the backoff, and an optional
+//! per-attempt wall-clock deadline. The deadline is enforced by the
+//! engine's watchdog (see `ExperimentEngine::run_supervised_detached` in
+//! `rnuca-sim`): an attempt that exceeds it is abandoned and counted as a
+//! failed attempt, exactly like a panic.
+
+use std::time::Duration;
+
+/// Seeded-jitter exponential backoff between supervised retry attempts.
+///
+/// The delay before retry `n` (1-based: the pause after the `n`-th failed
+/// attempt) grows as `base * 2^(n-1)`, capped at `cap`, then jittered
+/// uniformly into `[delay/2, delay]` by a SplitMix64 draw over
+/// `(seed, job, n)`. Full determinism: same inputs, same delay, on every
+/// machine and worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl BackoffConfig {
+    /// The service default: 100 ms doubling up to 5 s.
+    pub fn default_service() -> Self {
+        BackoffConfig {
+            base_ms: 100,
+            cap_ms: 5_000,
+        }
+    }
+
+    /// No backoff at all (every delay is zero) — the legacy immediate-retry
+    /// behaviour, and the right choice for deterministic unit tests that
+    /// must not sleep.
+    pub fn none() -> Self {
+        BackoffConfig {
+            base_ms: 0,
+            cap_ms: 0,
+        }
+    }
+
+    /// The pause before retry `attempt` (1-based) of job `job`, under
+    /// `seed`. Pure: depends only on the arguments.
+    pub fn delay(&self, seed: u64, job: usize, attempt: u32) -> Duration {
+        if self.base_ms == 0 {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self.base_ms.saturating_mul(1u64 << exp).min(self.cap_ms);
+        if raw == 0 {
+            return Duration::ZERO;
+        }
+        // Jitter into [raw/2, raw]: spread concurrent retries apart without
+        // ever waiting longer than the capped exponential envelope.
+        let mix = splitmix64(
+            seed ^ (job as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt),
+        );
+        let half = raw / 2;
+        let jitter = if raw - half == 0 {
+            0
+        } else {
+            mix % (raw - half + 1)
+        };
+        Duration::from_millis(half + jitter)
+    }
+}
+
+/// How a supervised run treats a failing job: how often to retry, how long
+/// to pause between attempts, and how long any single attempt may run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 = one attempt, no retry).
+    pub retries: u32,
+    /// Pause schedule between attempts.
+    pub backoff: BackoffConfig,
+    /// Wall-clock budget for one attempt. `None` disables the watchdog.
+    pub deadline: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// `retries` immediate attempts: no backoff, no deadline — the exact
+    /// behaviour of the pre-policy `run_supervised` signature.
+    pub fn immediate(retries: u32) -> Self {
+        RetryPolicy {
+            retries,
+            backoff: BackoffConfig::none(),
+            deadline: None,
+        }
+    }
+
+    /// The policy with a per-attempt deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The policy with the given backoff schedule.
+    pub fn with_backoff(mut self, backoff: BackoffConfig) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Total attempts this policy allows (1 + retries).
+    pub fn attempts(&self) -> u32 {
+        self.retries.saturating_add(1)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::immediate(0)
+    }
+}
+
+/// SplitMix64 — the same dependency-free mixer the fail-point subsystem
+/// uses for its seeded triggers.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic() {
+        let b = BackoffConfig::default_service();
+        for seed in [0, 7, 42] {
+            for job in [0usize, 3, 117] {
+                for attempt in 1..6 {
+                    assert_eq!(
+                        b.delay(seed, job, attempt),
+                        b.delay(seed, job, attempt),
+                        "delay must be a pure function of (seed, job, attempt)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_the_cap() {
+        let b = BackoffConfig {
+            base_ms: 100,
+            cap_ms: 5_000,
+        };
+        for attempt in 1..12 {
+            let raw = 100u64.saturating_mul(1 << (attempt - 1)).min(5_000);
+            let d = b.delay(42, 0, attempt).as_millis() as u64;
+            assert!(
+                (raw / 2..=raw).contains(&d),
+                "attempt {attempt}: delay {d} outside [{}, {raw}]",
+                raw / 2
+            );
+        }
+        // Deep attempts stay at the cap instead of overflowing the shift.
+        assert!(b.delay(42, 0, 64).as_millis() as u64 <= 5_000);
+    }
+
+    #[test]
+    fn different_jobs_jitter_apart() {
+        let b = BackoffConfig {
+            base_ms: 1_000,
+            cap_ms: 60_000,
+        };
+        let distinct: std::collections::HashSet<u128> =
+            (0..32).map(|job| b.delay(42, job, 1).as_millis()).collect();
+        assert!(
+            distinct.len() > 8,
+            "jitter must spread concurrent retries apart, got {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn zero_base_means_no_sleep() {
+        let b = BackoffConfig::none();
+        for attempt in 1..5 {
+            assert_eq!(b.delay(1, 2, attempt), Duration::ZERO);
+        }
+        assert_eq!(RetryPolicy::immediate(3).backoff, BackoffConfig::none());
+        assert_eq!(RetryPolicy::immediate(3).attempts(), 4);
+        assert_eq!(RetryPolicy::default().attempts(), 1);
+    }
+
+    #[test]
+    fn policy_builders_compose() {
+        let p = RetryPolicy::immediate(2)
+            .with_backoff(BackoffConfig::default_service())
+            .with_deadline(Duration::from_secs(30));
+        assert_eq!(p.retries, 2);
+        assert_eq!(p.backoff.base_ms, 100);
+        assert_eq!(p.deadline, Some(Duration::from_secs(30)));
+    }
+}

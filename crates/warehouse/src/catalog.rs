@@ -179,6 +179,10 @@ pub const CATALOG: &[Column] = &[
         name: "jobs_per_sec",
         ty: ColumnType::Float,
     },
+    Column {
+        name: "failure",
+        ty: ColumnType::Str,
+    },
 ];
 
 /// The position of `name` in [`CATALOG`], if it is a known column.

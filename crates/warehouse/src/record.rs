@@ -22,6 +22,11 @@ pub enum RowKind {
     ///
     /// [`ScenarioMatrix`]: https://example.invalid/rnuca-sim
     Sweep,
+    /// One quarantined sweep point: the job was supervised, every attempt
+    /// failed, and instead of silently vanishing from results it is stored
+    /// with its failure message in the `failure` column (queryable as
+    /// `kind=failed`).
+    Failed,
 }
 
 impl RowKind {
@@ -32,6 +37,7 @@ impl RowKind {
             RowKind::Group => "group",
             RowKind::Totals => "totals",
             RowKind::Sweep => "sweep",
+            RowKind::Failed => "failed",
         }
     }
 }
@@ -113,6 +119,9 @@ pub struct RunRecord {
     pub blocks_per_sec: Option<f64>,
     /// Measured throughput in scenario jobs per second.
     pub jobs_per_sec: Option<f64>,
+    /// Failure description (`cause after N attempts: message`), on failed
+    /// rows.
+    pub failure: Option<String>,
 }
 
 impl RunRecord {
@@ -151,6 +160,7 @@ impl RunRecord {
             loop_nanos: None,
             blocks_per_sec: None,
             jobs_per_sec: None,
+            failure: None,
         }
     }
 
@@ -166,12 +176,18 @@ impl RunRecord {
     /// function of identity, so they are keyed by full content: the same
     /// report re-ingested dedups to zero new rows, while a genuinely new
     /// run of the same configuration appends fresh rows.
+    ///
+    /// Failed rows are keyed by identity *plus* the failure text: resuming
+    /// the same quarantined job dedups to one row, while the same point
+    /// failing differently (a new message after a code change) stays
+    /// visible as its own row.
     pub fn key(&self) -> u64 {
         let mut h = Fnv64::new();
         self.hash_identity(&mut h);
         match self.kind {
             RowKind::Scenario | RowKind::Sweep => {}
             RowKind::Group | RowKind::Totals => self.hash_metrics(&mut h),
+            RowKind::Failed => hash_opt_str(&mut h, self.failure.as_deref()),
         }
         h.finish()
     }
@@ -250,6 +266,7 @@ impl RunRecord {
             "loop_nanos" => opt_int(self.loop_nanos),
             "blocks_per_sec" => opt_float(self.blocks_per_sec),
             "jobs_per_sec" => opt_float(self.jobs_per_sec),
+            "failure" => opt_str(self.failure.as_deref()),
             other => unreachable!("column {other} is not in the catalog"),
         }
     }
@@ -343,5 +360,25 @@ mod tests {
         for col in crate::catalog::CATALOG {
             let _ = r.cell(col.name, 7);
         }
+    }
+
+    #[test]
+    fn failed_rows_key_by_identity_plus_failure_text() {
+        let mut a = scenario();
+        a.kind = RowKind::Failed;
+        a.failure = Some("panic after 3 attempts: boom".into());
+        let b = a.clone();
+        assert_eq!(a.key(), b.key(), "resuming the same failure must dedup");
+
+        let mut c = a.clone();
+        c.failure = Some("deadline after 1 attempt: too slow".into());
+        assert_ne!(a.key(), c.key(), "a different failure is a new row");
+
+        let mut d = a.clone();
+        d.kind = RowKind::Sweep;
+        d.failure = None;
+        assert_ne!(a.key(), d.key(), "failed and sweep rows never collide");
+        assert_eq!(a.cell("failure", 0), Value::Str(a.failure.clone().unwrap()));
+        assert_eq!(d.cell("failure", 0), Value::Null);
     }
 }
